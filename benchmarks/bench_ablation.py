@@ -1,0 +1,123 @@
+"""Ablation benchmarks: claim T4 and the design-choice sweeps A1/A2.
+
+* T4 — the paper blames the irregular p22810 bars on the greedy
+  first-available-interface policy; replacing it with the fastest-completion
+  policy must never lose and should win somewhere on the sweep.
+* A1 — sweep of the per-pattern processor penalty (the paper fixes 10 cycles).
+* A2 — extra external interface pairs versus processor reuse.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablation import (
+    run_external_interface_sweep,
+    run_flit_width_sweep,
+    run_pattern_penalty_sweep,
+    run_scheduler_comparison,
+)
+
+from conftest import emit
+
+
+def test_scheduler_comparison_p22810(benchmark):
+    rows = benchmark.pedantic(
+        run_scheduler_comparison,
+        args=("p22810_leon",),
+        kwargs={"processor_counts": (0, 2, 4, 6, 8)},
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = ["procs  greedy      fastest-completion   improvement"]
+    for row in rows:
+        lines.append(
+            f"{row.reused_processors:>5}  {row.greedy_makespan:>10}  "
+            f"{row.lookahead_makespan:>18}   {row.improvement_percent:6.2f}%"
+        )
+    emit("T4 — greedy vs fastest-completion on p22810_leon", "\n".join(lines))
+
+    # Without processors both policies degenerate to the same serial plan.
+    assert rows[0].greedy_makespan == rows[0].lookahead_makespan
+    # The look-ahead policy should recover part of the greedy loss somewhere
+    # on the sweep (this is the fix the paper itself suggests).
+    assert any(row.lookahead_makespan < row.greedy_makespan for row in rows[1:])
+    # And it should never be dramatically worse than greedy.
+    for row in rows:
+        assert row.lookahead_makespan <= row.greedy_makespan * 1.05
+
+
+def test_pattern_penalty_sweep(benchmark):
+    rows = benchmark.pedantic(
+        run_pattern_penalty_sweep,
+        args=("d695_leon",),
+        kwargs={"penalties": (0, 5, 10, 20, 40)},
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = ["cycles/pattern  baseline   with reuse   reduction"]
+    for row in rows:
+        lines.append(
+            f"{row.cycles_per_pattern:>14}  {row.baseline_makespan:>8}  {row.reuse_makespan:>10}"
+            f"   {row.reduction_percent:6.2f}%"
+        )
+    emit("A1 — processor pattern-generation penalty sweep (d695_leon)", "\n".join(lines))
+
+    by_penalty = {row.cycles_per_pattern: row for row in rows}
+    # The baseline never uses processors, so it cannot depend on the penalty.
+    assert len({row.baseline_makespan for row in rows}) == 1
+    # Reuse always helps, and a free pattern generator helps at least as much
+    # as the paper's 10-cycle one, which in turn beats a 40-cycle one.
+    for row in rows:
+        assert row.reduction_percent > 0.0
+    assert by_penalty[0].reuse_makespan <= by_penalty[10].reuse_makespan * 1.02
+    assert by_penalty[10].reuse_makespan <= by_penalty[40].reuse_makespan * 1.02
+
+
+def test_flit_width_sweep(benchmark):
+    rows = benchmark.pedantic(
+        run_flit_width_sweep,
+        args=("d695_leon",),
+        kwargs={"flit_widths": (8, 16, 32, 64)},
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = ["flit width  baseline    with reuse   reduction"]
+    for row in rows:
+        lines.append(
+            f"{row.flit_width:>10}  {row.baseline_makespan:>8}  {row.reuse_makespan:>12}"
+            f"   {row.reduction_percent:6.2f}%"
+        )
+    emit("A3 — NoC flit-width sweep (d695_leon)", "\n".join(lines))
+
+    baselines = [row.baseline_makespan for row in rows]
+    assert baselines == sorted(baselines, reverse=True)
+    for row in rows:
+        assert row.reduction_percent > 0.0
+
+
+def test_external_interface_sweep(benchmark):
+    rows = benchmark.pedantic(
+        run_external_interface_sweep,
+        args=("p93791_leon",),
+        kwargs={"max_pairs": 3},
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = ["ATE port pairs  external only   + all processors"]
+    for row in rows:
+        lines.append(
+            f"{row.external_pairs:>14}  {row.external_only_makespan:>13}   {row.with_processors_makespan:>16}"
+        )
+    emit("A2 — extra ATE interfaces vs processor reuse (p93791_leon)", "\n".join(lines))
+
+    # More tester channels shorten the external-only test...
+    assert rows[-1].external_only_makespan <= rows[0].external_only_makespan
+    # ...but processor reuse still improves every configuration, which is the
+    # paper's selling point (the reuse comes for free in area and pins).
+    for row in rows:
+        assert row.with_processors_makespan <= row.external_only_makespan

@@ -1,0 +1,50 @@
+"""Micro-benchmarks of the library's building blocks.
+
+These do not correspond to a paper exhibit; they track the cost of the three
+hot paths of the tool (wrapper design, route computation, one full greedy
+planning run) so that performance regressions in the library itself are
+visible over time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cores.wrapper import design_wrapper
+from repro.itc02.library import load_benchmark
+from repro.noc.network import Network, NocConfig
+from repro.schedule.planner import TestPlanner
+from repro.system.presets import build_paper_system
+
+
+def test_wrapper_design_d695(benchmark):
+    d695 = load_benchmark("d695")
+
+    def design_all():
+        return [design_wrapper(module, 32) for module in d695.modules]
+
+    designs = benchmark(design_all)
+    assert len(designs) == 10
+
+
+def test_xy_routing_all_pairs(benchmark):
+    network = Network(NocConfig(width=5, height=6))
+    nodes = list(network.topology.nodes())
+
+    def route_all_pairs():
+        total_hops = 0
+        for source in nodes:
+            for destination in nodes:
+                total_hops += len(network.route(source, destination))
+        return total_hops
+
+    total = benchmark(route_all_pairs)
+    assert total > 0
+
+
+def test_full_planning_run_p93791(benchmark):
+    system = build_paper_system("p93791_leon")
+    planner = TestPlanner(system)
+
+    result = benchmark(lambda: planner.plan(reused_processors=8, power_limit_fraction=0.5))
+    assert result.test_count == 40

@@ -1,0 +1,39 @@
+"""Figure 1, middle panels: p22810 with Leon and with Plasma processors.
+
+Regenerates the test-time-vs-processors sweeps (noproc/2/4/6/8) and checks the
+paper's qualitative observations for this system: reuse reduces the test time,
+but the reduction is *irregular* because of the greedy first-available-resource
+policy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import sweep_table
+from repro.experiments.figure1 import run_panel
+from repro.schedule.result import validate_schedule
+
+from conftest import emit
+
+
+@pytest.mark.parametrize("system_name", ["p22810_leon", "p22810_plasma"])
+def test_figure1_p22810(benchmark, system_name, figure1_cache):
+    panel = benchmark(run_panel, system_name)
+    figure1_cache[system_name] = panel
+
+    emit(
+        f"Figure 1 — {system_name} (test time in cycles vs processors reused)",
+        sweep_table(panel.series, title=f"Figure 1 panel: {system_name}"),
+    )
+
+    for sweep in panel.series.values():
+        assert sorted(sweep) == [0, 2, 4, 6, 8]
+        for result in sweep.values():
+            validate_schedule(result)
+
+    makespans = panel.makespans("no power limit")
+    # Reuse helps substantially on this large system...
+    assert min(makespans[count] for count in (2, 4, 6, 8)) < 0.8 * makespans[0]
+    # ...and the noproc bar is near the paper's ~0.9M-cycle axis.
+    assert 600_000 <= makespans[0] <= 1_300_000

@@ -1,0 +1,39 @@
+"""Figure 1, bottom panels: p93791 with Leon and with Plasma processors.
+
+Regenerates the test-time-vs-processors sweeps (noproc/2/4/6/8) for the
+largest system of the paper, where the quoted gains are highest (up to 44 %
+without a power limit, 37 % with the 50 % ceiling).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import sweep_table
+from repro.experiments.figure1 import run_panel
+from repro.schedule.result import validate_schedule
+
+from conftest import emit
+
+
+@pytest.mark.parametrize("system_name", ["p93791_leon", "p93791_plasma"])
+def test_figure1_p93791(benchmark, system_name, figure1_cache):
+    panel = benchmark(run_panel, system_name)
+    figure1_cache[system_name] = panel
+
+    emit(
+        f"Figure 1 — {system_name} (test time in cycles vs processors reused)",
+        sweep_table(panel.series, title=f"Figure 1 panel: {system_name}"),
+    )
+
+    for sweep in panel.series.values():
+        assert sorted(sweep) == [0, 2, 4, 6, 8]
+        for result in sweep.values():
+            validate_schedule(result)
+
+    makespans = panel.makespans("no power limit")
+    # The noproc bar sits near the paper's ~1.4-1.5M-cycle axis.
+    assert 1_000_000 <= makespans[0] <= 2_000_000
+    # Reuse gains are substantial on the largest system (paper: up to 44 %).
+    best_reduction = panel.best_reduction("no power limit")
+    assert 25.0 <= best_reduction <= 60.0

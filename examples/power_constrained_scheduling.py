@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Power-constrained test scheduling on p22810_leon.
+
+The paper evaluates two power series (no limit and a 50 % limit).  This
+example sweeps the ceiling from very tight to unconstrained on the
+p22810_leon system with all eight processors reused, showing how the ceiling
+trades test time against peak test power — the knob a test engineer actually
+turns when the package's thermal budget is the concern.
+
+Run with::
+
+    python examples/power_constrained_scheduling.py
+"""
+
+from __future__ import annotations
+
+from repro import PowerConstraint, TestPlanner, build_paper_system
+from repro.analysis.metrics import compute_metrics
+
+
+def main() -> None:
+    system = build_paper_system("p22810_leon")
+    planner = TestPlanner(system)
+    total_power = system.total_core_power
+
+    print(system.describe())
+    print()
+    print(f"Sum of all core test powers: {total_power:.0f} pu")
+    print()
+
+    fractions = [0.25, 0.35, 0.5, 0.75, 1.0, None]
+    print(f"{'power ceiling':>16}  {'test time':>10}  {'peak power':>11}  "
+          f"{'avg parallelism':>16}")
+    baseline = None
+    for fraction in fractions:
+        label = "no limit" if fraction is None else f"{fraction:.0%} of total"
+        try:
+            result = planner.plan(reused_processors=8, power_limit_fraction=fraction)
+        except Exception as error:  # a very tight ceiling can be infeasible
+            print(f"{label:>16}  {'infeasible':>10}  ({error})")
+            continue
+        metrics = compute_metrics(result)
+        if baseline is None:
+            baseline = result.makespan
+        print(
+            f"{label:>16}  {result.makespan:>10}  {metrics.peak_power:>11.0f}  "
+            f"{metrics.average_parallelism:>16.2f}"
+        )
+
+    print()
+    print("Tightening the ceiling lowers the peak power the tester/package must")
+    print("sustain, generally at the cost of test time: the trade-off behind the")
+    print("two series of the paper's Figure 1.  (Small non-monotonicities are the")
+    print("greedy list-scheduling anomalies the paper itself observes on p22810.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so that the package can be installed in editable mode on offline
+machines whose setuptools/pip combination cannot build PEP 660 editable
+wheels (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,105 @@
+"""repro — NoC-based SoC test planning with embedded-processor reuse.
+
+This library reproduces the test planning method of
+
+    A. M. Amory, M. Lubaszewski, F. G. Moraes and E. I. Moreno,
+    "Test Time Reduction Reusing Multiple Processors in a Network-on-Chip
+    Based Architecture", DATE 2005.
+
+It models a NoC-based SoC (grid topology, XY routing), the embedded
+processors that can be reused as test sources/sinks, the external tester
+ports, and a greedy power-aware test scheduler that reuses both the NoC and
+the processors to shorten the system test.
+
+Quickstart::
+
+    from repro import TestPlanner, build_paper_system
+
+    system = build_paper_system("d695_leon")
+    planner = TestPlanner(system)
+    baseline = planner.plan(reused_processors=0)
+    reuse = planner.plan(reused_processors=6)
+    print(f"test time without reuse: {baseline.makespan} cycles")
+    print(f"test time with 6 processors: {reuse.makespan} cycles")
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from repro.errors import (
+    BenchmarkFormatError,
+    BenchmarkValidationError,
+    CharacterizationError,
+    ConfigurationError,
+    PlacementError,
+    PowerBudgetError,
+    ReproError,
+    ResourceError,
+    RoutingError,
+    ScheduleValidationError,
+    SchedulingError,
+    TopologyError,
+    UnknownBenchmarkError,
+)
+from repro.itc02 import available_benchmarks, load_benchmark, parse_soc_file
+from repro.cores import CoreUnderTest, build_cores, design_wrapper
+from repro.noc import Network, NocConfig
+from repro.processors import leon_processor, plasma_processor
+from repro.schedule import (
+    FastestCompletionScheduler,
+    GreedyScheduler,
+    PowerConstraint,
+    ScheduleResult,
+    TestPlanner,
+    validate_schedule,
+)
+from repro.system import (
+    PAPER_SYSTEMS,
+    SocSystem,
+    SystemBuilder,
+    build_paper_system,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "BenchmarkFormatError",
+    "BenchmarkValidationError",
+    "UnknownBenchmarkError",
+    "TopologyError",
+    "RoutingError",
+    "PlacementError",
+    "CharacterizationError",
+    "ResourceError",
+    "SchedulingError",
+    "PowerBudgetError",
+    "ScheduleValidationError",
+    "ConfigurationError",
+    # benchmarks
+    "available_benchmarks",
+    "load_benchmark",
+    "parse_soc_file",
+    # cores / NoC / processors
+    "CoreUnderTest",
+    "build_cores",
+    "design_wrapper",
+    "Network",
+    "NocConfig",
+    "leon_processor",
+    "plasma_processor",
+    # planning
+    "GreedyScheduler",
+    "FastestCompletionScheduler",
+    "PowerConstraint",
+    "ScheduleResult",
+    "TestPlanner",
+    "validate_schedule",
+    # systems
+    "SocSystem",
+    "SystemBuilder",
+    "PAPER_SYSTEMS",
+    "build_paper_system",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""Analysis and reporting helpers for test schedules.
+
+* :mod:`repro.analysis.metrics` — test-time reduction, interface utilisation,
+  parallelism profile: the quantities the paper's Section 3 discusses.
+* :mod:`repro.analysis.gantt` — ASCII Gantt chart of a schedule.
+* :mod:`repro.analysis.report` — plain-text tables for sweeps and schedules.
+* :mod:`repro.analysis.export` — CSV / JSON export of schedules and sweeps.
+"""
+
+from repro.analysis.metrics import (
+    ScheduleMetrics,
+    compare_schedules,
+    compute_metrics,
+    reduction_table,
+)
+from repro.analysis.bounds import (
+    MakespanBounds,
+    bound_report,
+    makespan_lower_bounds,
+    schedule_efficiency,
+)
+from repro.analysis.gantt import gantt_chart
+from repro.analysis.report import schedule_report, sweep_table
+from repro.analysis.export import schedule_to_rows, schedule_to_json, sweep_to_csv
+
+__all__ = [
+    "MakespanBounds",
+    "bound_report",
+    "makespan_lower_bounds",
+    "schedule_efficiency",
+    "ScheduleMetrics",
+    "compute_metrics",
+    "compare_schedules",
+    "reduction_table",
+    "gantt_chart",
+    "schedule_report",
+    "sweep_table",
+    "schedule_to_rows",
+    "schedule_to_json",
+    "sweep_to_csv",
+]

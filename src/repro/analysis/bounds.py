@@ -1,0 +1,117 @@
+"""Lower bounds on the achievable system test time.
+
+The schedulers in this library are heuristics; to judge how far a schedule is
+from what is achievable at all, this module computes three classical lower
+bounds on the makespan of any test plan for a given system configuration:
+
+* **critical core** — no plan can finish before the longest single core test
+  (taken over the fastest interface available for that core);
+* **resource work** — the total amount of test-application work divided by
+  the number of test interfaces offered (processors counted only from the
+  earliest instant they can possibly be enabled);
+* **bottleneck port** — every stimulus ultimately enters through a source
+  local port; the busiest mandatory resource (e.g. the external input port in
+  the noproc case) bounds the makespan from below.
+
+`bound_report` combines them and reports the efficiency of an actual
+schedule against the tightest bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schedule.job import build_job
+from repro.schedule.result import ScheduleResult
+from repro.system.builder import SocSystem
+
+
+@dataclass(frozen=True)
+class MakespanBounds:
+    """Lower bounds on the test time of one planning configuration.
+
+    Attributes:
+        critical_core: longest unavoidable single-core test time.
+        resource_work: total work divided by the number of interfaces.
+        bottleneck: max over interfaces-independent resources of mandatory
+            work (currently the external-source share when no processor is
+            reused; 0 otherwise).
+        tightest: the maximum of the three bounds.
+    """
+
+    critical_core: int
+    resource_work: int
+    bottleneck: int
+
+    @property
+    def tightest(self) -> int:
+        """The strongest (largest) of the lower bounds."""
+        return max(self.critical_core, self.resource_work, self.bottleneck)
+
+
+def makespan_lower_bounds(
+    system: SocSystem, *, reused_processors: int | None = None
+) -> MakespanBounds:
+    """Compute makespan lower bounds for ``system`` with a reuse configuration.
+
+    The bounds are deliberately conservative (true lower bounds): processor
+    enablement delays, path conflicts and power ceilings can only push the
+    real optimum higher.
+    """
+    interfaces = system.interfaces(reused_processors)
+    network = system.network
+
+    critical_core = 0
+    total_fastest_work = 0
+    external_work = 0
+    external_interfaces = [i for i in interfaces if i.is_external]
+
+    for core in system.cores:
+        durations = []
+        for interface in interfaces:
+            if interface.processor_core_id == core.identifier:
+                continue
+            durations.append(build_job(core, interface, network).duration)
+        fastest = min(durations)
+        critical_core = max(critical_core, fastest)
+        total_fastest_work += fastest
+        if len(interfaces) == len(external_interfaces):
+            external_work += fastest
+
+    resource_work = -(-total_fastest_work // max(len(interfaces), 1))
+    bottleneck = external_work if len(interfaces) == len(external_interfaces) else 0
+    return MakespanBounds(
+        critical_core=critical_core,
+        resource_work=resource_work,
+        bottleneck=bottleneck,
+    )
+
+
+def schedule_efficiency(result: ScheduleResult, bounds: MakespanBounds) -> float:
+    """Ratio of the tightest lower bound to the achieved makespan (0..1].
+
+    1.0 means the schedule provably cannot be improved; lower values measure
+    the remaining head-room (which may or may not be reachable, since the
+    bounds ignore path conflicts and power ceilings).
+    """
+    if result.makespan <= 0:
+        return 1.0
+    return min(1.0, bounds.tightest / result.makespan)
+
+
+def bound_report(system: SocSystem, result: ScheduleResult) -> str:
+    """Human readable bound/efficiency report for one schedule."""
+    reused = result.metadata.get("reused_processors")
+    reused_int = reused if isinstance(reused, int) else None
+    bounds = makespan_lower_bounds(system, reused_processors=reused_int)
+    efficiency = schedule_efficiency(result, bounds)
+    return (
+        f"Lower bounds for {result.system_name} "
+        f"({reused_int if reused_int is not None else 'all'} processors reused):\n"
+        f"  critical core bound : {bounds.critical_core}\n"
+        f"  resource work bound : {bounds.resource_work}\n"
+        f"  bottleneck bound    : {bounds.bottleneck}\n"
+        f"  tightest bound      : {bounds.tightest}\n"
+        f"  achieved makespan   : {result.makespan}\n"
+        f"  bound efficiency    : {efficiency:.1%}"
+    )

@@ -1,0 +1,75 @@
+"""Machine-readable export of schedules and sweeps (CSV rows, JSON).
+
+The experiment drivers use these helpers to persist results, and downstream
+users can feed the output to their own plotting tools to recreate the paper's
+figures graphically.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+from repro.schedule.result import ScheduleResult
+
+
+def schedule_to_rows(result: ScheduleResult) -> list[dict[str, object]]:
+    """One dictionary per scheduled test, ready for ``csv.DictWriter``."""
+    rows: list[dict[str, object]] = []
+    for assignment in result.assignments:
+        job = assignment.job
+        rows.append(
+            {
+                "system": result.system_name,
+                "scheduler": result.scheduler_name,
+                "core": job.core_id,
+                "interface": job.interface_id,
+                "start": assignment.start,
+                "end": assignment.end,
+                "duration": job.duration,
+                "patterns": job.patterns,
+                "power": round(job.power, 2),
+                "stimulus_hops": job.stimulus_hops,
+                "response_hops": job.response_hops,
+            }
+        )
+    return rows
+
+
+def schedule_to_json(result: ScheduleResult, *, indent: int = 2) -> str:
+    """Serialize a schedule (metadata + assignments) to a JSON document."""
+    document = {
+        "system": result.system_name,
+        "scheduler": result.scheduler_name,
+        "makespan": result.makespan,
+        "power_constraint": {
+            "limit": result.power_constraint.limit,
+            "description": result.power_constraint.description,
+        },
+        "metadata": {key: _jsonable(value) for key, value in result.metadata.items()},
+        "assignments": schedule_to_rows(result),
+    }
+    return json.dumps(document, indent=indent)
+
+
+def sweep_to_csv(sweeps: dict[str, dict[int, ScheduleResult]]) -> str:
+    """Serialize processor-count sweeps to CSV text.
+
+    Columns: series label, processor count, makespan, peak power.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["series", "processors", "makespan", "peak_power"])
+    for label, sweep in sweeps.items():
+        for count in sorted(sweep):
+            result = sweep[count]
+            writer.writerow([label, count, result.makespan, round(result.peak_power(), 2)])
+    return buffer.getvalue()
+
+
+def _jsonable(value: object) -> object:
+    """Best-effort conversion of metadata values to JSON-safe types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)

@@ -1,0 +1,63 @@
+"""ASCII Gantt chart of a schedule.
+
+Test scheduling papers traditionally show schedules as Gantt charts (one row
+per test resource, time on the x axis).  :func:`gantt_chart` renders the same
+view as plain text so it can be printed from the examples and the CLI without
+any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from repro.schedule.result import ScheduleResult
+
+
+def gantt_chart(result: ScheduleResult, *, width: int = 100) -> str:
+    """Render ``result`` as an ASCII Gantt chart.
+
+    Args:
+        result: the schedule to render.
+        width: number of character columns representing the makespan.
+
+    Returns:
+        A multi-line string: one row per interface, each test shown as a block
+        of ``#`` characters labelled below with the core name where space
+        allows, plus a cycle axis.
+    """
+    makespan = result.makespan
+    if makespan == 0:
+        return f"{result.system_name}: empty schedule"
+    if width < 10:
+        width = 10
+    scale = width / makespan
+
+    lines: list[str] = [
+        f"Schedule for {result.system_name} "
+        f"({result.scheduler_name}, makespan {makespan} cycles)"
+    ]
+    label_width = max(
+        (len(interface.identifier) for interface in result.interfaces), default=8
+    )
+    grouped = result.assignments_by_interface()
+    for interface in result.interfaces:
+        row = [" "] * width
+        for assignment in grouped.get(interface.identifier, []):
+            start = min(width - 1, int(assignment.start * scale))
+            end = max(start + 1, int(assignment.end * scale))
+            end = min(end, width)
+            for column in range(start, end):
+                row[column] = "#"
+            label = assignment.core_id.split(".")[-1]
+            if end - start > len(label) + 1:
+                for offset, character in enumerate(label):
+                    row[start + 1 + offset] = character
+        lines.append(f"{interface.identifier.rjust(label_width)} |{''.join(row)}|")
+
+    axis = [" "] * width
+    for fraction in (0.0, 0.25, 0.5, 0.75, 1.0):
+        column = min(width - 1, int(fraction * (width - 1)))
+        axis[column] = "+"
+    lines.append(f"{' ' * label_width} +{''.join(axis)}+")
+    lines.append(
+        f"{' ' * label_width}  0{' ' * (width - len(str(makespan)) - 1)}{makespan}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Schedule metrics: reductions, utilisation, parallelism.
+
+The paper's evaluation boils down to one number per configuration (the system
+test time) and a handful of derived observations (the reduction against the
+no-reuse baseline, how the power ceiling changes it, how busy the processors
+actually are).  This module computes all of them from
+:class:`~repro.schedule.result.ScheduleResult` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.schedule.result import ScheduleResult
+from repro.units import reduction_percent
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """Aggregate metrics of one schedule.
+
+    Attributes:
+        system_name: name of the scheduled system.
+        makespan: total system test time in cycles.
+        test_count: number of core tests in the schedule.
+        average_parallelism: average number of concurrent tests.
+        peak_power: highest instantaneous power reached.
+        interface_utilisation: fraction of the makespan each interface spends
+            applying tests, keyed by interface identifier.
+        external_share: fraction of total test cycles applied through external
+            interfaces (1.0 when no processor is reused).
+    """
+
+    system_name: str
+    makespan: int
+    test_count: int
+    average_parallelism: float
+    peak_power: float
+    interface_utilisation: dict[str, float]
+    external_share: float
+
+
+def compute_metrics(result: ScheduleResult) -> ScheduleMetrics:
+    """Compute :class:`ScheduleMetrics` for ``result``."""
+    makespan = result.makespan
+    busy = result.interface_busy_cycles()
+    utilisation = {
+        interface.identifier: (busy.get(interface.identifier, 0) / makespan if makespan else 0.0)
+        for interface in result.interfaces
+    }
+    external_ids = {
+        interface.identifier for interface in result.interfaces if interface.is_external
+    }
+    total_busy = sum(busy.values())
+    external_busy = sum(cycles for name, cycles in busy.items() if name in external_ids)
+    return ScheduleMetrics(
+        system_name=result.system_name,
+        makespan=makespan,
+        test_count=result.test_count,
+        average_parallelism=result.average_parallelism(),
+        peak_power=result.peak_power(),
+        interface_utilisation=utilisation,
+        external_share=(external_busy / total_busy) if total_busy else 0.0,
+    )
+
+
+def compare_schedules(baseline: ScheduleResult, improved: ScheduleResult) -> float:
+    """Test-time reduction (percent) of ``improved`` relative to ``baseline``.
+
+    This is the headline quantity of the paper ("test time reduction of 28 %",
+    "the gain in test time can be as high as 44 %").
+    """
+    return reduction_percent(baseline.makespan, improved.makespan)
+
+
+def reduction_table(sweep: dict[int, ScheduleResult]) -> list[tuple[int, int, float]]:
+    """Per-configuration reductions of a processor-count sweep.
+
+    Args:
+        sweep: mapping of processor count to schedule, as produced by
+            :meth:`repro.schedule.planner.TestPlanner.sweep_processor_counts`.
+            The entry for 0 processors is the baseline.
+
+    Returns:
+        A list of ``(processor_count, makespan, reduction_percent)`` rows in
+        ascending processor-count order.
+
+    Raises:
+        KeyError: when the sweep has no 0-processor baseline entry.
+    """
+    baseline = sweep[0]
+    rows = []
+    for count in sorted(sweep):
+        result = sweep[count]
+        rows.append(
+            (count, result.makespan, reduction_percent(baseline.makespan, result.makespan))
+        )
+    return rows

@@ -1,0 +1,87 @@
+"""Plain-text reports for schedules and processor-count sweeps.
+
+These renderers produce the rows the paper's Figure 1 plots (test time versus
+number of reused processors, with and without a power limit) so that the
+benchmark harness and the CLI can print paper-shaped output.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.metrics import compute_metrics, reduction_table
+from repro.schedule.result import ScheduleResult
+
+
+def _format_row(columns: list[str], widths: list[int]) -> str:
+    return "  ".join(column.rjust(width) for column, width in zip(columns, widths))
+
+
+def sweep_table(
+    sweeps: dict[str, dict[int, ScheduleResult]],
+    *,
+    title: str = "Test time vs. number of reused processors",
+) -> str:
+    """Render one or more processor-count sweeps as a text table.
+
+    Args:
+        sweeps: mapping of series label (e.g. ``"no power limit"``) to the
+            sweep dictionary returned by ``sweep_processor_counts``.
+        title: table heading.
+
+    Returns:
+        A table with one row per processor count and one column pair
+        (test time, reduction) per series — the textual equivalent of one
+        panel of the paper's Figure 1.
+    """
+    if not sweeps:
+        return f"{title}\n(no data)"
+    counts = sorted({count for sweep in sweeps.values() for count in sweep})
+    headers = ["processors"]
+    for label in sweeps:
+        headers.extend([f"{label} [cycles]", f"{label} [reduction]"])
+    rows: list[list[str]] = []
+    reduction_by_label = {
+        label: dict(
+            (count, (makespan, reduction))
+            for count, makespan, reduction in reduction_table(sweep)
+        )
+        for label, sweep in sweeps.items()
+    }
+    for count in counts:
+        row = ["noproc" if count == 0 else f"{count}proc"]
+        for label in sweeps:
+            entry = reduction_by_label[label].get(count)
+            if entry is None:
+                row.extend(["-", "-"])
+            else:
+                makespan, reduction = entry
+                row.extend([f"{makespan}", f"{reduction:5.1f}%"])
+        rows.append(row)
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) for i in range(len(headers))
+    ]
+    lines = [title, _format_row(headers, widths)]
+    lines.append("  ".join("-" * width for width in widths))
+    lines.extend(_format_row(row, widths) for row in rows)
+    return "\n".join(lines)
+
+
+def schedule_report(result: ScheduleResult) -> str:
+    """Multi-line summary of one schedule (metrics + per-interface load)."""
+    metrics = compute_metrics(result)
+    lines = [
+        f"Schedule report: {result.system_name} ({result.scheduler_name})",
+        f"  makespan:            {metrics.makespan} cycles",
+        f"  scheduled tests:     {metrics.test_count}",
+        f"  average parallelism: {metrics.average_parallelism:.2f}",
+        f"  peak power:          {metrics.peak_power:.1f} pu "
+        f"({result.power_constraint.description})",
+        f"  external share:      {metrics.external_share:.0%} of applied test cycles",
+        "  interface utilisation:",
+    ]
+    for interface in result.interfaces:
+        utilisation = metrics.interface_utilisation.get(interface.identifier, 0.0)
+        tests = len(result.assignments_by_interface().get(interface.identifier, []))
+        lines.append(
+            f"    {interface.identifier:<16} {utilisation:6.1%}  ({tests} tests)"
+        )
+    return "\n".join(lines)

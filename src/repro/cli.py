@@ -1,0 +1,207 @@
+"""Command-line interface.
+
+Installed as ``repro-noctest`` (see ``pyproject.toml``) and runnable as
+``python -m repro.cli``.  Sub-commands:
+
+* ``benchmarks`` — list the embedded ITC'02 benchmarks and their summaries.
+* ``describe SYSTEM`` — show one of the paper's systems (cores, placement,
+  NoC, ports).
+* ``plan SYSTEM`` — plan the test of a paper system for a given number of
+  reused processors and optional power limit; prints the schedule report and,
+  with ``--gantt``/``--bounds``/``--json``, a Gantt chart, makespan lower
+  bounds and a JSON dump.
+* ``characterize SYSTEM`` — run the paper's characterisation steps (random
+  packet campaign on the NoC, processor test application figures).
+* ``figure1 [SYSTEM...]`` — regenerate the paper's Figure 1 panels as text
+  tables (all six panels by default).
+* ``headline`` — recompute the paper's quoted reduction percentages.
+* ``export-soc DIRECTORY`` — write the embedded benchmarks as ``.soc`` files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.bounds import bound_report
+from repro.analysis.export import schedule_to_json, sweep_to_csv
+from repro.analysis.gantt import gantt_chart
+from repro.analysis.report import schedule_report, sweep_table
+from repro.errors import ReproError
+from repro.experiments.figure1 import run_panel
+from repro.experiments.headline import run_headline_claims
+from repro.itc02.library import available_benchmarks, export_benchmarks, load_benchmark
+from repro.noc.characterization import characterize_noc
+from repro.schedule.planner import TestPlanner
+from repro.schedule.variants import FastestCompletionScheduler
+from repro.system.presets import PAPER_SYSTEMS, build_paper_system
+
+
+def _cmd_benchmarks(_: argparse.Namespace) -> int:
+    for name in available_benchmarks():
+        print(load_benchmark(name).summary())
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    system = build_paper_system(args.system)
+    print(system.describe())
+    print("  core placement:")
+    for core in system.cores:
+        kind = "processor" if core.is_processor else "core"
+        print(f"    {core.identifier:<24} {kind:<10} @ {core.node}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    system = build_paper_system(args.system)
+    scheduler = FastestCompletionScheduler() if args.lookahead else None
+    planner = TestPlanner(system, scheduler=scheduler)
+    result = planner.plan(
+        reused_processors=args.processors,
+        power_limit_fraction=args.power_limit,
+    )
+    print(schedule_report(result))
+    if args.bounds:
+        print()
+        print(bound_report(system, result))
+    if args.gantt:
+        print()
+        print(gantt_chart(result))
+    if args.json:
+        print()
+        print(schedule_to_json(result))
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    system = build_paper_system(args.system)
+    print(system.describe())
+    print()
+    print("NoC characterisation (random packet campaign):")
+    print("  " + characterize_noc(system.network, packet_count=args.packets).summary())
+    print()
+    print("Processor characterisations:")
+    for characterization in system.processor_characterizations.values():
+        print("  " + characterization.summary())
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    systems = args.systems or sorted(PAPER_SYSTEMS)
+    for name in systems:
+        panel = run_panel(name)
+        print(sweep_table(panel.series, title=f"Figure 1 panel: {name}"))
+        if args.csv:
+            print()
+            print(sweep_to_csv(panel.series))
+        print()
+    return 0
+
+
+def _cmd_headline(_: argparse.Namespace) -> int:
+    print("Paper headline claims vs. reproduction:")
+    for claim in run_headline_claims():
+        print("  " + claim.row())
+    return 0
+
+
+def _cmd_export_soc(args: argparse.Namespace) -> int:
+    written = export_benchmarks(args.directory)
+    for path in written:
+        print(f"wrote {path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-noctest",
+        description="NoC-based SoC test planning with embedded-processor reuse "
+        "(reproduction of Amory et al., DATE 2005)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    benchmarks = subparsers.add_parser("benchmarks", help="list embedded benchmarks")
+    benchmarks.set_defaults(handler=_cmd_benchmarks)
+
+    describe = subparsers.add_parser("describe", help="describe a paper system")
+    describe.add_argument("system", choices=sorted(PAPER_SYSTEMS))
+    describe.set_defaults(handler=_cmd_describe)
+
+    plan = subparsers.add_parser("plan", help="plan the test of a paper system")
+    plan.add_argument("system", choices=sorted(PAPER_SYSTEMS))
+    plan.add_argument(
+        "--processors",
+        type=int,
+        default=None,
+        help="number of processors reused for test (default: all)",
+    )
+    plan.add_argument(
+        "--power-limit",
+        type=float,
+        default=None,
+        help="power ceiling as a fraction of total core power (e.g. 0.5)",
+    )
+    plan.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    plan.add_argument("--json", action="store_true", help="print the schedule as JSON")
+    plan.add_argument(
+        "--bounds",
+        action="store_true",
+        help="print makespan lower bounds and the schedule's bound efficiency",
+    )
+    plan.add_argument(
+        "--lookahead",
+        action="store_true",
+        help="use the fastest-completion scheduler instead of the paper's greedy one",
+    )
+    plan.set_defaults(handler=_cmd_plan)
+
+    figure1 = subparsers.add_parser("figure1", help="regenerate Figure 1 panels")
+    figure1.add_argument(
+        "systems",
+        nargs="*",
+        metavar="SYSTEM",
+        help=f"systems to reproduce (default: all of {', '.join(sorted(PAPER_SYSTEMS))})",
+    )
+    figure1.add_argument("--csv", action="store_true", help="also print CSV rows")
+    figure1.set_defaults(handler=_cmd_figure1)
+
+    headline = subparsers.add_parser(
+        "headline", help="recompute the paper's quoted reduction percentages"
+    )
+    headline.set_defaults(handler=_cmd_headline)
+
+    characterize = subparsers.add_parser(
+        "characterize",
+        help="run the NoC and processor characterisation steps for a paper system",
+    )
+    characterize.add_argument("system", choices=sorted(PAPER_SYSTEMS))
+    characterize.add_argument(
+        "--packets", type=int, default=200, help="random packets for the NoC campaign"
+    )
+    characterize.set_defaults(handler=_cmd_characterize)
+
+    export_soc = subparsers.add_parser(
+        "export-soc", help="write the embedded benchmarks as .soc files"
+    )
+    export_soc.add_argument("directory")
+    export_soc.set_defaults(handler=_cmd_export_soc)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""The core-under-test abstraction consumed by the scheduler.
+
+A :class:`CoreUnderTest` binds together everything the test planner needs to
+know about one core:
+
+* the underlying ITC'02 module,
+* its wrapper design for the system's flit width and the derived test set,
+* its test-mode power,
+* its placement (which NoC node its network interface hangs off),
+* whether the core is an embedded processor that may later be reused as a
+  test source/sink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.cores.testset import TestSet
+from repro.cores.wrapper import WrapperDesign, design_wrapper
+from repro.errors import ConfigurationError
+from repro.itc02.model import Module, SocBenchmark
+
+#: A NoC node is addressed by its (x, y) grid coordinate.
+NodeCoordinate = tuple[int, int]
+
+
+@dataclass
+class CoreUnderTest:
+    """One testable core of the system, placed on the NoC.
+
+    Attributes:
+        identifier: unique core identifier within the system (e.g. ``"d695.s38417"``).
+        module: the ITC'02 module describing the core's test interface.
+        wrapper: wrapper design for the system's access (flit) width.
+        test_set: aggregate test-set quantities derived from the wrapper.
+        power: test-mode power consumption in power units.
+        node: NoC node the core is attached to (``None`` until placement).
+        is_processor: True when the core is an embedded processor that can be
+            reused as a test source/sink after its own test completes.
+        processor_name: name of the processor model when ``is_processor``.
+    """
+
+    identifier: str
+    module: Module
+    wrapper: WrapperDesign
+    test_set: TestSet
+    power: float
+    node: Optional[NodeCoordinate] = None
+    is_processor: bool = False
+    processor_name: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.identifier:
+            raise ConfigurationError("core identifier must not be empty")
+        if self.power < 0:
+            raise ConfigurationError(
+                f"core {self.identifier!r}: power must be non-negative"
+            )
+        if self.is_processor and not self.processor_name:
+            raise ConfigurationError(
+                f"core {self.identifier!r} is a processor but has no processor_name"
+            )
+
+    @property
+    def name(self) -> str:
+        """Short name of the underlying module."""
+        return self.module.name
+
+    @property
+    def patterns(self) -> int:
+        """Number of test patterns of the core's test set."""
+        return self.module.patterns
+
+    @property
+    def application_time(self) -> int:
+        """Scan/apply time of the core's test in cycles (wrapper view only)."""
+        return self.test_set.application_time
+
+    @property
+    def cycles_per_pattern(self) -> int:
+        """Scan cycles consumed by one pattern at the wrapper."""
+        return self.test_set.cycles_per_pattern
+
+    @property
+    def placed(self) -> bool:
+        """True once the core has been assigned a NoC node."""
+        return self.node is not None
+
+    def place_at(self, node: NodeCoordinate) -> None:
+        """Attach the core to NoC node ``node``."""
+        self.node = node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        where = f"@{self.node}" if self.node is not None else "unplaced"
+        kind = "proc" if self.is_processor else "core"
+        return f"CoreUnderTest({self.identifier}, {kind}, {where})"
+
+
+def build_core(
+    module: Module,
+    *,
+    flit_width: int,
+    identifier: str | None = None,
+    is_processor: bool = False,
+    processor_name: str | None = None,
+) -> CoreUnderTest:
+    """Build a :class:`CoreUnderTest` from an ITC'02 module.
+
+    Args:
+        module: the module to wrap.
+        flit_width: NoC flit width; used as the wrapper width.
+        identifier: unique identifier; defaults to the module name.
+        is_processor: mark the core as an embedded processor.
+        processor_name: processor model name when ``is_processor``.
+    """
+    wrapper = design_wrapper(module, flit_width)
+    return CoreUnderTest(
+        identifier=module.name if identifier is None else identifier,
+        module=module,
+        wrapper=wrapper,
+        test_set=TestSet.from_wrapper(wrapper),
+        power=module.power,
+        is_processor=is_processor,
+        processor_name=processor_name,
+    )
+
+
+def build_cores(
+    benchmark: SocBenchmark,
+    *,
+    flit_width: int,
+    identifier_prefix: str | None = None,
+) -> list[CoreUnderTest]:
+    """Build cores-under-test for every module of ``benchmark``.
+
+    Args:
+        benchmark: the benchmark whose modules become cores.
+        flit_width: NoC flit width used for wrapper design.
+        identifier_prefix: optional prefix for core identifiers (defaults to
+            the benchmark name), producing identifiers like ``"d695.s38417"``.
+    """
+    prefix = identifier_prefix if identifier_prefix is not None else benchmark.name
+    cores = []
+    for module in benchmark.modules:
+        identifier = f"{prefix}.{module.name}" if prefix else module.name
+        cores.append(
+            build_core(module, flit_width=flit_width, identifier=identifier)
+        )
+    return cores
+
+
+def total_power(cores: Iterable[CoreUnderTest]) -> float:
+    """Sum of the test-mode power of ``cores`` (the paper's power-limit base)."""
+    return sum(core.power for core in cores)

@@ -1,0 +1,83 @@
+"""Synthetic per-core test power assignment.
+
+The original ITC'02 files carry no power figures.  The power-constrained test
+scheduling literature (and, by its own description, the paper) therefore
+attaches synthetic per-core test power values.  This module provides a small,
+deterministic power model so that benchmarks without power data can still be
+scheduled under a power ceiling:
+
+    power(core) = floor + slope * (scan_cells + inputs + outputs + bidirs)
+
+with a deterministic per-core jitter so that equally-sized cores do not all
+get exactly the same figure (which would make power-limited schedules
+artificially symmetric).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.itc02.model import Module, SocBenchmark
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Parameters of the synthetic test power model.
+
+    Attributes:
+        floor: minimum power assigned to any core (power units).
+        slope: power units added per wrapper/scan cell.
+        jitter: relative jitter amplitude (0.1 = +/-10 %), applied
+            deterministically from a hash of the core name.
+    """
+
+    floor: float = 100.0
+    slope: float = 0.5
+    jitter: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.floor < 0 or self.slope < 0:
+            raise ConfigurationError("power model floor and slope must be >= 0")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError("power model jitter must be in [0, 1)")
+
+    def power_of(self, module: Module) -> float:
+        """Synthetic test power of ``module`` in power units."""
+        size = module.scan_cells + module.inputs + module.outputs + module.bidirs
+        base = self.floor + self.slope * size
+        return round(base * (1.0 + self._jitter_of(module.name)), 1)
+
+    def _jitter_of(self, name: str) -> float:
+        """Deterministic jitter in ``[-jitter, +jitter]`` derived from ``name``."""
+        if self.jitter == 0.0:
+            return 0.0
+        digest = hashlib.sha256(name.encode("utf-8")).digest()
+        fraction = int.from_bytes(digest[:4], "big") / 0xFFFFFFFF
+        return (2.0 * fraction - 1.0) * self.jitter
+
+
+def assign_power(
+    benchmark: SocBenchmark,
+    model: PowerModel | None = None,
+    *,
+    only_missing: bool = True,
+) -> SocBenchmark:
+    """Return a copy of ``benchmark`` with per-module power values filled in.
+
+    Args:
+        benchmark: the benchmark to annotate.
+        model: power model to use; defaults to :class:`PowerModel`'s defaults.
+        only_missing: when True (default), modules that already carry a
+            positive power figure keep it; when False, all modules are
+            re-assigned from the model.
+    """
+    model = model or PowerModel()
+    powers = []
+    for module in benchmark.modules:
+        if only_missing and module.power > 0:
+            powers.append(module.power)
+        else:
+            powers.append(model.power_of(module))
+    return benchmark.with_powers(powers)

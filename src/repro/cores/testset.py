@@ -1,0 +1,66 @@
+"""Test-set level quantities of a wrapped core.
+
+A :class:`TestSet` captures how much data a core's test moves and how long it
+keeps the access mechanism busy, independent of *which* resource (external
+tester or embedded processor) sources the patterns.  The resource-dependent
+parts (pattern-generation overhead, NoC transport latency) are added later by
+:mod:`repro.schedule.job`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cores.wrapper import WrapperDesign
+from repro.units import flits_for_bits
+
+
+@dataclass(frozen=True)
+class TestSet:
+    """Aggregate description of one core's test set through its wrapper.
+
+    (The ``__test__ = False`` marker below only tells pytest that this class
+    is library code, not a test case, despite its name.)
+
+    Attributes:
+        core_name: name of the core the test set belongs to.
+        patterns: number of test patterns.
+        cycles_per_pattern: scan cycles consumed per pattern at the wrapper.
+        application_time: total scan/apply time in cycles (wrapper view).
+        stimulus_bits: total stimulus volume in bits.
+        response_bits: total response volume in bits.
+    """
+
+    __test__ = False
+
+    core_name: str
+    patterns: int
+    cycles_per_pattern: int
+    application_time: int
+    stimulus_bits: int
+    response_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        """Stimulus plus response volume in bits."""
+        return self.stimulus_bits + self.response_bits
+
+    def stimulus_flits(self, flit_width: int) -> int:
+        """Number of flits needed to ship the whole stimulus over the NoC."""
+        return flits_for_bits(self.stimulus_bits, flit_width)
+
+    def response_flits(self, flit_width: int) -> int:
+        """Number of flits needed to ship the whole response over the NoC."""
+        return flits_for_bits(self.response_bits, flit_width)
+
+    @classmethod
+    def from_wrapper(cls, design: WrapperDesign) -> "TestSet":
+        """Build the test set quantities from a wrapper design."""
+        return cls(
+            core_name=design.module_name,
+            patterns=design.patterns,
+            cycles_per_pattern=design.cycles_per_pattern,
+            application_time=design.test_time,
+            stimulus_bits=design.stimulus_bits_per_pattern * design.patterns,
+            response_bits=design.response_bits_per_pattern * design.patterns,
+        )

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to discriminate the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class BenchmarkFormatError(ReproError):
+    """Raised when an ITC'02 ``.soc`` description cannot be parsed."""
+
+    def __init__(self, message: str, line_number: int | None = None):
+        self.line_number = line_number
+        if line_number is not None:
+            message = f"line {line_number}: {message}"
+        super().__init__(message)
+
+
+class BenchmarkValidationError(ReproError):
+    """Raised when a parsed benchmark violates a structural invariant."""
+
+
+class UnknownBenchmarkError(ReproError):
+    """Raised when a benchmark name is not present in the embedded library."""
+
+
+class TopologyError(ReproError):
+    """Raised for invalid NoC topology parameters or out-of-range nodes."""
+
+
+class RoutingError(ReproError):
+    """Raised when a route cannot be computed between two NoC nodes."""
+
+
+class PlacementError(ReproError):
+    """Raised when cores cannot be placed on the NoC (overlap, overflow...)."""
+
+
+class CharacterizationError(ReproError):
+    """Raised for inconsistent processor/test-application characterization."""
+
+
+class ResourceError(ReproError):
+    """Raised when test sources/sinks are mis-configured or unavailable."""
+
+
+class SchedulingError(ReproError):
+    """Raised when the scheduler cannot produce a feasible test plan."""
+
+
+class PowerBudgetError(SchedulingError):
+    """Raised when a single test alone already exceeds the power ceiling."""
+
+
+class ScheduleValidationError(ReproError):
+    """Raised when a produced schedule violates one of its invariants."""
+
+
+class ConfigurationError(ReproError):
+    """Raised for invalid user-facing configuration values."""

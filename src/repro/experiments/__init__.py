@@ -1,0 +1,43 @@
+"""Experiment drivers reproducing the paper's evaluation.
+
+Every exhibit of the paper maps to one driver here (see DESIGN.md §3):
+
+* :mod:`repro.experiments.figure1` — the six panels of Figure 1 (test time vs
+  number of reused processors, with and without the 50 % power limit),
+* :mod:`repro.experiments.headline` — the reduction percentages quoted in the
+  text (28 % for d695_Leon, up to 44 % / 37 % for p93791_Leon),
+* :mod:`repro.experiments.ablation` — the greedy vs look-ahead comparison that
+  explains the p22810 irregularity, plus sweeps over the design parameters the
+  paper fixes (processor pattern penalty, number of external interfaces).
+
+The drivers are deterministic and reasonably fast (a full Figure 1 run takes a
+few seconds), so the benchmark harness under ``benchmarks/`` simply calls them
+and prints the resulting rows.
+"""
+
+from repro.experiments.figure1 import (
+    PAPER_PROCESSOR_COUNTS,
+    Figure1Panel,
+    run_figure1,
+    run_panel,
+)
+from repro.experiments.headline import HeadlineClaim, run_headline_claims
+from repro.experiments.ablation import (
+    run_external_interface_sweep,
+    run_flit_width_sweep,
+    run_pattern_penalty_sweep,
+    run_scheduler_comparison,
+)
+
+__all__ = [
+    "PAPER_PROCESSOR_COUNTS",
+    "Figure1Panel",
+    "run_figure1",
+    "run_panel",
+    "HeadlineClaim",
+    "run_headline_claims",
+    "run_scheduler_comparison",
+    "run_pattern_penalty_sweep",
+    "run_external_interface_sweep",
+    "run_flit_width_sweep",
+]

@@ -1,0 +1,116 @@
+"""Reproduction of the paper's Figure 1.
+
+Figure 1 has six panels — systems d695, p22810 and p93791, each with Leon and
+with Plasma processors — and every panel plots the system test time against
+the number of processors reused for test (``noproc``, 2, 4, 6 and, for the two
+larger systems, 8), for two series: a 50 % power limit and no power limit.
+
+:func:`run_panel` reproduces one panel, :func:`run_figure1` the whole figure.
+The raw numbers are returned as :class:`~repro.schedule.result.ScheduleResult`
+objects grouped per series so callers can print them
+(:func:`repro.analysis.report.sweep_table`), export them
+(:func:`repro.analysis.export.sweep_to_csv`) or post-process them further.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.schedule.greedy import EventDrivenScheduler
+from repro.schedule.planner import TestPlanner
+from repro.schedule.result import ScheduleResult
+from repro.system.presets import PAPER_SYSTEMS, build_paper_system
+
+#: Processor counts swept per benchmark, following the x axes of Figure 1.
+PAPER_PROCESSOR_COUNTS: dict[str, tuple[int, ...]] = {
+    "d695": (0, 2, 4, 6),
+    "p22810": (0, 2, 4, 6, 8),
+    "p93791": (0, 2, 4, 6, 8),
+}
+
+#: The two series of every panel: 50 % power limit and no power limit.
+PAPER_POWER_SERIES: dict[str, float | None] = {
+    "50% power limit": 0.5,
+    "no power limit": None,
+}
+
+
+@dataclass
+class Figure1Panel:
+    """The reproduced data of one Figure 1 panel.
+
+    Attributes:
+        system_name: the panel's system (e.g. ``"p93791_leon"``).
+        series: mapping of series label to a processor-count → schedule sweep.
+    """
+
+    system_name: str
+    series: dict[str, dict[int, ScheduleResult]] = field(default_factory=dict)
+
+    def makespans(self, label: str) -> dict[int, int]:
+        """Processor count → test time for one series of the panel."""
+        return {count: result.makespan for count, result in self.series[label].items()}
+
+    def best_reduction(self, label: str) -> float:
+        """Largest test-time reduction (vs. noproc) achieved in one series."""
+        sweep = self.series[label]
+        baseline = sweep[0].makespan
+        best = min(result.makespan for result in sweep.values())
+        if baseline == 0:
+            return 0.0
+        return 100.0 * (baseline - best) / baseline
+
+
+def run_panel(
+    system_name: str,
+    *,
+    processor_counts: tuple[int, ...] | None = None,
+    power_series: dict[str, float | None] | None = None,
+    scheduler: EventDrivenScheduler | None = None,
+    flit_width: int = 32,
+) -> Figure1Panel:
+    """Reproduce one panel of Figure 1.
+
+    Args:
+        system_name: one of the paper's systems (``"d695_leon"`` ...).
+        processor_counts: processor counts to sweep; defaults to the paper's
+            values for the system's benchmark.
+        power_series: mapping of series label to power-limit fraction;
+            defaults to the paper's two series (0.5 and unconstrained).
+        scheduler: scheduling policy; defaults to the paper's greedy policy.
+        flit_width: NoC flit width used to build the system.
+    """
+    key = system_name.lower()
+    if key not in PAPER_SYSTEMS:
+        known = ", ".join(sorted(PAPER_SYSTEMS))
+        raise ConfigurationError(
+            f"unknown paper system {system_name!r}; known systems: {known}"
+        )
+    spec = PAPER_SYSTEMS[key]
+    counts = processor_counts or PAPER_PROCESSOR_COUNTS[spec.benchmark]
+    series_spec = power_series or PAPER_POWER_SERIES
+
+    system = build_paper_system(key, flit_width=flit_width)
+    planner = TestPlanner(system, scheduler=scheduler)
+
+    panel = Figure1Panel(system_name=key)
+    for label, fraction in series_spec.items():
+        panel.series[label] = planner.sweep_processor_counts(
+            list(counts), power_limit_fraction=fraction
+        )
+    return panel
+
+
+def run_figure1(
+    *,
+    systems: tuple[str, ...] | None = None,
+    scheduler: EventDrivenScheduler | None = None,
+    flit_width: int = 32,
+) -> dict[str, Figure1Panel]:
+    """Reproduce every panel of Figure 1 (or a subset via ``systems``)."""
+    names = systems or tuple(PAPER_SYSTEMS)
+    return {
+        name: run_panel(name, scheduler=scheduler, flit_width=flit_width)
+        for name in names
+    }

@@ -1,0 +1,37 @@
+"""ITC'02 SoC Test Benchmark substrate.
+
+The paper evaluates its test planner on three circuits of the ITC'02 SoC Test
+Benchmarks set (Marinissen et al., ITC 2002): ``d695``, ``p22810`` and
+``p93791``.  This subpackage provides everything the rest of the library needs
+from that benchmark set:
+
+* a data model for a benchmark SoC (:class:`~repro.itc02.model.SocBenchmark`,
+  :class:`~repro.itc02.model.Module`, :class:`~repro.itc02.model.ScanChain`),
+* a parser and writer for a line-oriented ``.soc`` dialect
+  (:mod:`repro.itc02.parser`, :mod:`repro.itc02.writer`),
+* an embedded benchmark library (:mod:`repro.itc02.library`) with the three
+  circuits used by the paper,
+* a deterministic synthetic generator (:mod:`repro.itc02.synth`) used to
+  reconstruct the two large industrial benchmarks whose original files are not
+  redistributable (see DESIGN.md §4),
+* structural validation (:mod:`repro.itc02.validate`).
+"""
+
+from repro.itc02.model import Module, ScanChain, SocBenchmark
+from repro.itc02.parser import parse_soc, parse_soc_file
+from repro.itc02.writer import write_soc, write_soc_file
+from repro.itc02.library import available_benchmarks, load_benchmark
+from repro.itc02.validate import validate_benchmark
+
+__all__ = [
+    "Module",
+    "ScanChain",
+    "SocBenchmark",
+    "parse_soc",
+    "parse_soc_file",
+    "write_soc",
+    "write_soc_file",
+    "available_benchmarks",
+    "load_benchmark",
+    "validate_benchmark",
+]

@@ -1,0 +1,47 @@
+"""Network-on-chip substrate.
+
+The paper reuses a grid NoC with XY routing as the test access mechanism.
+This subpackage models exactly the NoC aspects the paper's tool consumes:
+
+* grid topology and XY routing (:mod:`repro.noc.topology`,
+  :mod:`repro.noc.routing`),
+* router timing characterisation — routing latency and flow-control latency —
+  and the resulting packet/stream transfer times (:mod:`repro.noc.timing`),
+* per-hop power characterisation (:mod:`repro.noc.power`),
+* link identities and path→link expansion used for exclusive path reservation
+  (:mod:`repro.noc.links`),
+* a :class:`~repro.noc.network.Network` facade bundling all of the above for
+  one configured NoC instance,
+* a small circuit-switched simulator used to cross-validate the analytic
+  timing model and the scheduler's reservation semantics
+  (:mod:`repro.noc.simulator`).
+"""
+
+from repro.noc.topology import GridTopology, NodeCoordinate
+from repro.noc.routing import XYRouting
+from repro.noc.links import Link, path_links, local_port
+from repro.noc.packet import Packet
+from repro.noc.timing import NocTimingModel
+from repro.noc.power import NocPowerModel
+from repro.noc.network import NocConfig, Network
+from repro.noc.simulator import CircuitSwitchedSimulator, TransferRequest, TransferRecord
+from repro.noc.characterization import NocCharacterization, characterize_noc
+
+__all__ = [
+    "NocCharacterization",
+    "characterize_noc",
+    "GridTopology",
+    "NodeCoordinate",
+    "XYRouting",
+    "Link",
+    "path_links",
+    "local_port",
+    "Packet",
+    "NocTimingModel",
+    "NocPowerModel",
+    "NocConfig",
+    "Network",
+    "CircuitSwitchedSimulator",
+    "TransferRequest",
+    "TransferRecord",
+]

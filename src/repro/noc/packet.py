@@ -1,0 +1,49 @@
+"""Packet and flit-level quantities.
+
+Test data travels over the NoC as packets: a header flit carrying the route
+followed by payload flits.  The scheduler mostly reasons about *streams* of
+packets (one packet per test pattern), but the packet abstraction is used by
+the timing model, the circuit-switched simulator and the NoC characterisation
+utilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import flits_for_bits
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One NoC packet.
+
+    Attributes:
+        payload_bits: number of payload bits carried.
+        flit_width: width of one flit in bits.
+        header_flits: number of header/trailer flits added by the protocol
+            (HERMES-class NoCs use a header flit plus a size flit, hence 2).
+    """
+
+    payload_bits: int
+    flit_width: int
+    header_flits: int = 2
+
+    def __post_init__(self) -> None:
+        if self.payload_bits < 0:
+            raise ConfigurationError("payload_bits must be non-negative")
+        if self.flit_width <= 0:
+            raise ConfigurationError("flit_width must be positive")
+        if self.header_flits < 0:
+            raise ConfigurationError("header_flits must be non-negative")
+
+    @property
+    def payload_flits(self) -> int:
+        """Number of flits needed for the payload alone."""
+        return flits_for_bits(self.payload_bits, self.flit_width)
+
+    @property
+    def total_flits(self) -> int:
+        """Header plus payload flits."""
+        return self.header_flits + self.payload_flits

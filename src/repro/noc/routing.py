@@ -1,0 +1,62 @@
+"""Deterministic XY routing on a grid topology.
+
+Packets are first routed along the ``x`` dimension until the destination
+column is reached and then along the ``y`` dimension.  XY routing is minimal
+and deadlock-free on meshes, which is why the HERMES-class NoCs the authors'
+group builds (and this paper targets) use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import RoutingError
+from repro.noc.topology import GridTopology, NodeCoordinate
+
+
+@dataclass(frozen=True)
+class XYRouting:
+    """XY (dimension-ordered) routing over a :class:`GridTopology`."""
+
+    topology: GridTopology
+
+    def route(self, source: NodeCoordinate, destination: NodeCoordinate) -> list[NodeCoordinate]:
+        """Return the node sequence from ``source`` to ``destination`` inclusive.
+
+        The returned list always starts with ``source`` and ends with
+        ``destination``; when both coincide the list has a single element.
+
+        Raises:
+            RoutingError: if either endpoint is outside the topology.
+        """
+        try:
+            self.topology.require(source)
+            self.topology.require(destination)
+        except Exception as exc:
+            raise RoutingError(str(exc)) from exc
+
+        path = [source]
+        x, y = source
+        dest_x, dest_y = destination
+        step_x = 1 if dest_x > x else -1
+        while x != dest_x:
+            x += step_x
+            path.append((x, y))
+        step_y = 1 if dest_y > y else -1
+        while y != dest_y:
+            y += step_y
+            path.append((x, y))
+        return path
+
+    def hops(self, source: NodeCoordinate, destination: NodeCoordinate) -> int:
+        """Number of channel traversals between the two nodes."""
+        try:
+            return self.topology.manhattan_distance(source, destination)
+        except Exception as exc:
+            raise RoutingError(str(exc)) from exc
+
+    def routers_visited(
+        self, source: NodeCoordinate, destination: NodeCoordinate
+    ) -> int:
+        """Number of routers a packet passes through, endpoints included."""
+        return self.hops(source, destination) + 1

@@ -1,0 +1,111 @@
+"""Router timing characterisation and transfer-time model.
+
+The paper characterises a NoC router by two figures (Section 2):
+
+* the **routing latency** — the intra-router time required to create a
+  connection through the router for an incoming header, and
+* the **flow-control latency** — the inter-router time required to forward one
+  flit over a channel once the connection exists.
+
+From these two figures and the flit width, the timing model derives
+
+* the latency of a single packet over an ``h``-hop path,
+* the time a continuous *stream* of per-pattern packets keeps a dedicated
+  path busy, which is what the test scheduler charges for a core test.
+
+Defaults follow the HERMES family of grid NoCs developed by the authors'
+group (wormhole switching, one flit per channel per cycle, a few cycles of
+arbitration/routing per router).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.noc.packet import Packet
+
+
+@dataclass(frozen=True)
+class NocTimingModel:
+    """Analytic timing model of the NoC used as a test access mechanism.
+
+    Attributes:
+        flit_width: channel/flit width in bits.
+        routing_latency: cycles a router needs to process a header and set up
+            the connection for a packet (per router).
+        flow_control_latency: cycles to transfer one flit over one channel
+            once the connection exists (per flit, per channel, pipelined).
+        header_flits: protocol flits prepended to every packet.
+    """
+
+    flit_width: int = 32
+    routing_latency: int = 5
+    flow_control_latency: int = 1
+    header_flits: int = 2
+
+    def __post_init__(self) -> None:
+        if self.flit_width <= 0:
+            raise ConfigurationError("flit_width must be positive")
+        if self.routing_latency < 0:
+            raise ConfigurationError("routing_latency must be non-negative")
+        if self.flow_control_latency < 1:
+            raise ConfigurationError("flow_control_latency must be at least 1")
+        if self.header_flits < 0:
+            raise ConfigurationError("header_flits must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Single packet latency.
+    # ------------------------------------------------------------------
+    def path_setup_cycles(self, hops: int) -> int:
+        """Cycles for a header to establish a connection over ``hops`` channels.
+
+        Every router on the path (``hops`` routers beyond the source) spends
+        ``routing_latency`` cycles on the header, and the header itself needs
+        ``flow_control_latency`` cycles per channel.
+        """
+        if hops < 0:
+            raise ConfigurationError("hops must be non-negative")
+        return hops * (self.routing_latency + self.flow_control_latency)
+
+    def packet_latency(self, packet: Packet, hops: int) -> int:
+        """Cycles from injecting a packet's header to draining its last flit."""
+        pipeline = self.path_setup_cycles(hops)
+        payload = (packet.total_flits - 1) * self.flow_control_latency
+        return pipeline + max(payload, 0) + self.flow_control_latency
+
+    def bits_packet_latency(self, payload_bits: int, hops: int) -> int:
+        """Convenience wrapper building the packet from a raw bit count."""
+        packet = Packet(
+            payload_bits=payload_bits,
+            flit_width=self.flit_width,
+            header_flits=self.header_flits,
+        )
+        return self.packet_latency(packet, hops)
+
+    # ------------------------------------------------------------------
+    # Streaming (test application) time.
+    # ------------------------------------------------------------------
+    def stream_cycles_per_flit(self) -> int:
+        """Sustained cycles per flit once a dedicated path is established."""
+        return self.flow_control_latency
+
+    def effective_cycles_per_pattern(
+        self,
+        wrapper_cycles_per_pattern: int,
+        scan_in_flits: int,
+        scan_out_flits: int,
+        source_cycles_per_pattern: int,
+    ) -> int:
+        """Cycles one pattern occupies the dedicated paths and the wrapper.
+
+        The per-pattern time is the maximum of what the wrapper needs (shift +
+        capture), what the stimulus channel can sustain, and what the response
+        channel can sustain — plus the pattern-generation overhead of the test
+        source (0 for the external tester, 10 cycles for an embedded
+        processor running the BIST application).
+        """
+        transport_in = scan_in_flits * self.flow_control_latency
+        transport_out = scan_out_flits * self.flow_control_latency
+        scan = max(wrapper_cycles_per_pattern, transport_in, transport_out)
+        return scan + source_cycles_per_pattern

@@ -1,0 +1,129 @@
+"""Software test applications executed by reused processors.
+
+A reused processor runs a small program that either
+
+* emulates a pseudo-random BIST generator — it produces one test pattern
+  every few instructions and pushes it into the NoC (the paper models this
+  application and assumes 10 clock cycles per generated pattern), or
+* reads compressed test data from memory, decompresses it and forwards it to
+  the core under test (announced by the paper as near-future work; modelled
+  here so the extension experiments can quantify its benefit).
+
+Each application is characterised per pattern: extra cycles spent before the
+pattern can be injected, extra power drawn while the program runs, and the
+program + data memory it needs on the processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CharacterizationError
+from repro.units import PROCESSOR_CYCLES_PER_PATTERN
+
+
+@dataclass(frozen=True)
+class TestApplication:
+    """Characterisation of a software test application.
+
+    Attributes:
+        name: application name (``"bist"``, ``"decompression"`` ...).
+        cycles_per_pattern: processor cycles needed to produce one pattern
+            before it can be injected into the NoC.
+        power: extra power (power units) the processor draws while running
+            the application.
+        program_memory_bytes: code footprint of the application.
+        data_memory_bytes_per_pattern: storage needed per pattern (0 for BIST,
+            which generates patterns on the fly; positive for decompression,
+            which keeps compressed stimuli in memory).
+        compression_ratio: for decompression-style applications, the ratio of
+            original to stored (compressed) volume; 1.0 means uncompressed.
+    """
+
+    __test__ = False
+
+    name: str
+    cycles_per_pattern: int
+    power: float
+    program_memory_bytes: int = 1024
+    data_memory_bytes_per_pattern: float = 0.0
+    compression_ratio: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_pattern < 0:
+            raise CharacterizationError("cycles_per_pattern must be non-negative")
+        if self.power < 0:
+            raise CharacterizationError("application power must be non-negative")
+        if self.program_memory_bytes < 0:
+            raise CharacterizationError("program memory must be non-negative")
+        if self.data_memory_bytes_per_pattern < 0:
+            raise CharacterizationError("data memory must be non-negative")
+        if self.compression_ratio < 1.0:
+            raise CharacterizationError("compression ratio must be >= 1.0")
+
+    @property
+    def stores_test_data(self) -> bool:
+        """True when the application keeps the core's stimuli in memory."""
+        return self.data_memory_bytes_per_pattern > 0 or self.compression_ratio > 1.0
+
+    def memory_for(self, patterns: int, bits_per_pattern: int) -> int:
+        """Total processor memory (bytes) needed to test a core.
+
+        BIST generates patterns on the fly and needs only the program;
+        decompression additionally stores the compressed stimulus of the
+        whole test set.
+        """
+        if patterns < 0 or bits_per_pattern < 0:
+            raise CharacterizationError("pattern quantities must be non-negative")
+        data_bytes = 0
+        if self.stores_test_data:
+            if self.data_memory_bytes_per_pattern > 0:
+                data_bytes = int(patterns * self.data_memory_bytes_per_pattern)
+            else:
+                stored_bits = patterns * bits_per_pattern / self.compression_ratio
+                data_bytes = int(stored_bits // 8)
+        return self.program_memory_bytes + data_bytes
+
+
+def BistApplication(
+    *,
+    cycles_per_pattern: int = PROCESSOR_CYCLES_PER_PATTERN,
+    power: float = 150.0,
+    program_memory_bytes: int = 1024,
+) -> TestApplication:
+    """The BIST-emulation application modelled by the paper.
+
+    The default per-pattern cost is the paper's stated assumption of 10 clock
+    cycles to generate one pattern.
+    """
+    return TestApplication(
+        name="bist",
+        cycles_per_pattern=cycles_per_pattern,
+        power=power,
+        program_memory_bytes=program_memory_bytes,
+        data_memory_bytes_per_pattern=0.0,
+        compression_ratio=1.0,
+    )
+
+
+def DecompressionApplication(
+    *,
+    cycles_per_pattern: int = 4,
+    power: float = 180.0,
+    program_memory_bytes: int = 4096,
+    compression_ratio: float = 4.0,
+) -> TestApplication:
+    """The decompression application the paper announces as future work.
+
+    Decompression produces deterministic (ATPG) patterns, so it is faster per
+    pattern than BIST emulation, but it needs the compressed test set in the
+    processor's memory and draws a little more power.
+    """
+    return TestApplication(
+        name="decompression",
+        cycles_per_pattern=cycles_per_pattern,
+        power=power,
+        program_memory_bytes=program_memory_bytes,
+        data_memory_bytes_per_pattern=0.0,
+        compression_ratio=compression_ratio,
+    )

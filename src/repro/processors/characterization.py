@@ -1,0 +1,87 @@
+"""Processor characterisation step of the paper's flow.
+
+Section 2 of the paper describes a characterisation step in which, for every
+processor reused for test, "the test application has to be characterized in
+terms of time, memory requirements and power".  This module performs that
+step: given a processor model and the flit width of the NoC, it produces a
+:class:`ProcessorCharacterization` that contains every figure the scheduler
+needs, including the processor's own test time (it is a core under test first)
+and the per-pattern cost it adds to the cores it later tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cores.wrapper import design_wrapper
+from repro.errors import CharacterizationError
+from repro.processors.model import EmbeddedProcessor
+
+
+@dataclass(frozen=True)
+class ProcessorCharacterization:
+    """Characterisation results for one processor at one flit width.
+
+    Attributes:
+        processor: the characterised processor model.
+        flit_width: flit width the characterisation was done for.
+        self_test_time: cycles needed to test the processor itself through a
+            wrapper of ``flit_width`` chains (excluding NoC transport setup).
+        self_test_patterns: number of patterns of the processor's own test.
+        self_test_power: power drawn while the processor is being tested.
+        cycles_per_generated_pattern: test-clock cycles added to every pattern
+            the processor generates for another core.
+        source_power: power drawn while the processor sources/sinks a test.
+        application_memory_bytes: code footprint of the test application.
+    """
+
+    processor: EmbeddedProcessor
+    flit_width: int
+    self_test_time: int
+    self_test_patterns: int
+    self_test_power: float
+    cycles_per_generated_pattern: int
+    source_power: float
+    application_memory_bytes: int
+
+    @property
+    def name(self) -> str:
+        """Instance name of the characterised processor."""
+        return self.processor.name
+
+    def summary(self) -> str:
+        """One-line human readable summary of the characterisation."""
+        return (
+            f"{self.name}: self-test {self.self_test_time} cycles "
+            f"({self.self_test_patterns} patterns, {self.self_test_power:.0f} pu), "
+            f"+{self.cycles_per_generated_pattern} cycles/pattern as source, "
+            f"{self.source_power:.0f} pu while sourcing"
+        )
+
+
+def characterize(processor: EmbeddedProcessor, flit_width: int) -> ProcessorCharacterization:
+    """Characterise ``processor`` for a NoC with the given ``flit_width``.
+
+    Raises:
+        CharacterizationError: if the application does not even fit the
+            processor's memory (a BIST kernel larger than the local memory
+            cannot be deployed, so the processor cannot be reused at all).
+    """
+    application = processor.application
+    if application.program_memory_bytes > processor.memory_bytes:
+        raise CharacterizationError(
+            f"processor {processor.name!r}: test application needs "
+            f"{application.program_memory_bytes} bytes but only "
+            f"{processor.memory_bytes} bytes are available"
+        )
+    wrapper = design_wrapper(processor.self_test, flit_width)
+    return ProcessorCharacterization(
+        processor=processor,
+        flit_width=flit_width,
+        self_test_time=wrapper.test_time,
+        self_test_patterns=processor.self_test.patterns,
+        self_test_power=processor.self_test_power,
+        cycles_per_generated_pattern=processor.cycles_per_generated_pattern,
+        source_power=processor.source_power,
+        application_memory_bytes=application.program_memory_bytes,
+    )

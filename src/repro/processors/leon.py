@@ -1,0 +1,80 @@
+"""Characterisation of the Leon (SPARC V8) soft processor.
+
+The Leon is the larger of the two processors the paper reuses.  The original
+work characterised the synthesizable VHDL model from Gaisler Research; the
+figures below are documented estimates chosen so that
+
+* the processor's own test is substantial (a few hundred scan patterns over
+  roughly 1.5 k scan cells), reflecting the paper's remark that "complex
+  processors require a large number of patterns to be tested, and may be
+  reused for test few times", and
+* the resulting self-test time at a 32-bit flit width is in the 20 k-cycle
+  range, which together with six/eight Leon instances reproduces the offset
+  between the d695/p22810/p93791 core test times and the paper's Figure 1
+  "noproc" bars.
+
+All values can be overridden through the factory's keyword arguments.
+"""
+
+from __future__ import annotations
+
+from repro.itc02.model import Module, ScanChain
+from repro.processors.applications import BistApplication, TestApplication
+from repro.processors.model import EmbeddedProcessor, ProcessorKind
+
+#: Default scan structure of the Leon self-test: 32 balanced chains of 47
+#: cells (~1.5 k flip-flops for the integer unit, register file bypass and
+#: cache controllers).
+_LEON_SCAN_CHAINS = tuple(ScanChain(index=i, length=47) for i in range(32))
+
+
+def leon_self_test_module(
+    *,
+    number: int = 1,
+    name: str = "leon",
+    patterns: int = 410,
+    power: float = 1100.0,
+) -> Module:
+    """ITC'02-style module describing the Leon processor as a core under test."""
+    return Module(
+        number=number,
+        name=name,
+        inputs=92,
+        outputs=95,
+        bidirs=0,
+        scan_chains=_LEON_SCAN_CHAINS,
+        patterns=patterns,
+        power=power,
+    )
+
+
+def leon_processor(
+    *,
+    name: str = "leon",
+    application: TestApplication | None = None,
+    self_test_patterns: int = 410,
+    self_test_power: float = 1100.0,
+    memory_bytes: int = 128 * 1024,
+    clock_ratio: float = 1.0,
+) -> EmbeddedProcessor:
+    """Build the Leon processor characterisation used in the experiments.
+
+    Args:
+        name: instance name (several instances get distinct names).
+        application: test application to run; defaults to the paper's BIST
+            model (10 cycles per generated pattern).
+        self_test_patterns: size of the processor's own test set.
+        self_test_power: test-mode power of the processor itself.
+        memory_bytes: memory available to the test application.
+        clock_ratio: processor clock relative to the test clock.
+    """
+    return EmbeddedProcessor(
+        name=name,
+        kind=ProcessorKind.SPARC_V8,
+        self_test=leon_self_test_module(
+            name=name, patterns=self_test_patterns, power=self_test_power
+        ),
+        application=application or BistApplication(power=320.0),
+        memory_bytes=memory_bytes,
+        clock_ratio=clock_ratio,
+    )

@@ -1,0 +1,104 @@
+"""Generic embedded processor model.
+
+An :class:`EmbeddedProcessor` captures the two roles a processor plays in the
+paper's flow:
+
+1. **Core under test** — before it can be reused, the processor itself must be
+   tested.  Its test interface is described by an ITC'02-style
+   :class:`~repro.itc02.model.Module` (``self_test``), exactly like any other
+   core of the system: the scheduler sees the processor as one more CUT.
+2. **Test source/sink** — once tested, the processor runs a software test
+   application (BIST today, decompression as an extension) and sources
+   patterns to / sinks responses from other cores over the NoC.
+
+The per-pattern generation cost, application power and memory budget live in
+the attached :class:`~repro.processors.applications.TestApplication`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.errors import CharacterizationError
+from repro.itc02.model import Module
+from repro.processors.applications import BistApplication, TestApplication
+
+
+class ProcessorKind(enum.Enum):
+    """Instruction-set families of the processors modelled by the paper."""
+
+    SPARC_V8 = "sparc-v8"
+    MIPS_I = "mips-i"
+    GENERIC = "generic"
+
+
+@dataclass(frozen=True)
+class EmbeddedProcessor:
+    """Characterisation of one embedded processor model.
+
+    Attributes:
+        name: processor model name (``"leon"``, ``"plasma"``...).
+        kind: instruction-set family.
+        self_test: ITC'02-style module describing the processor's own test
+            (terminals, scan structure, pattern count, test power).
+        application: software test application the processor runs when reused.
+        memory_bytes: on-chip memory available to the test application.
+        clock_ratio: processor clock relative to the test/NoC clock (1.0 means
+            the processor runs at the same frequency; values below 1.0 slow
+            down pattern generation proportionally).
+    """
+
+    name: str
+    kind: ProcessorKind
+    self_test: Module
+    application: TestApplication = field(default_factory=BistApplication)
+    memory_bytes: int = 64 * 1024
+    clock_ratio: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CharacterizationError("processor name must not be empty")
+        if self.memory_bytes <= 0:
+            raise CharacterizationError("processor memory must be positive")
+        if self.clock_ratio <= 0:
+            raise CharacterizationError("clock_ratio must be positive")
+        if self.self_test.patterns <= 0:
+            raise CharacterizationError(
+                f"processor {self.name!r} needs a positive self-test pattern count"
+            )
+
+    @property
+    def cycles_per_generated_pattern(self) -> int:
+        """Test-clock cycles the processor spends generating one pattern.
+
+        The application cost is expressed in processor cycles; dividing by the
+        clock ratio converts it to test-clock cycles (a processor running at
+        half the test clock takes twice as many test-clock cycles).
+        """
+        raw = self.application.cycles_per_pattern / self.clock_ratio
+        return int(raw + 0.999999) if raw > int(raw) else int(raw)
+
+    @property
+    def source_power(self) -> float:
+        """Power drawn while the processor sources/sinks a test."""
+        return self.application.power
+
+    @property
+    def self_test_power(self) -> float:
+        """Power drawn while the processor itself is being tested."""
+        return self.self_test.power
+
+    def with_application(self, application: TestApplication) -> "EmbeddedProcessor":
+        """Return a copy of the processor running a different application."""
+        return replace(self, application=application)
+
+    def with_name(self, name: str) -> "EmbeddedProcessor":
+        """Return a copy with a different instance name (used when several
+        copies of the same processor model are placed in one system)."""
+        return replace(self, name=name)
+
+    def can_test(self, patterns: int, bits_per_pattern: int) -> bool:
+        """True when the application for a core of this size fits in memory."""
+        needed = self.application.memory_for(patterns, bits_per_pattern)
+        return needed <= self.memory_bytes

@@ -1,0 +1,70 @@
+"""Characterisation of the Plasma (MIPS-I) soft processor.
+
+The Plasma from opencores.org is a small three-stage MIPS-I implementation —
+considerably smaller than the Leon — so its self-test is cheaper and it can be
+reused for test earlier.  As with the Leon model, the figures are documented
+estimates (the paper does not publish its characterisation numbers) and every
+value can be overridden through the factory's keyword arguments.
+"""
+
+from __future__ import annotations
+
+from repro.itc02.model import Module, ScanChain
+from repro.processors.applications import BistApplication, TestApplication
+from repro.processors.model import EmbeddedProcessor, ProcessorKind
+
+#: Default scan structure of the Plasma self-test: 16 chains of 52 cells
+#: (~0.8 k flip-flops: register file, pipeline and bus interface).
+_PLASMA_SCAN_CHAINS = tuple(ScanChain(index=i, length=52) for i in range(16))
+
+
+def plasma_self_test_module(
+    *,
+    number: int = 1,
+    name: str = "plasma",
+    patterns: int = 240,
+    power: float = 650.0,
+) -> Module:
+    """ITC'02-style module describing the Plasma processor as a core under test."""
+    return Module(
+        number=number,
+        name=name,
+        inputs=60,
+        outputs=65,
+        bidirs=0,
+        scan_chains=_PLASMA_SCAN_CHAINS,
+        patterns=patterns,
+        power=power,
+    )
+
+
+def plasma_processor(
+    *,
+    name: str = "plasma",
+    application: TestApplication | None = None,
+    self_test_patterns: int = 240,
+    self_test_power: float = 650.0,
+    memory_bytes: int = 64 * 1024,
+    clock_ratio: float = 1.0,
+) -> EmbeddedProcessor:
+    """Build the Plasma processor characterisation used in the experiments.
+
+    Args:
+        name: instance name (several instances get distinct names).
+        application: test application to run; defaults to the paper's BIST
+            model (10 cycles per generated pattern).
+        self_test_patterns: size of the processor's own test set.
+        self_test_power: test-mode power of the processor itself.
+        memory_bytes: memory available to the test application.
+        clock_ratio: processor clock relative to the test clock.
+    """
+    return EmbeddedProcessor(
+        name=name,
+        kind=ProcessorKind.MIPS_I,
+        self_test=plasma_self_test_module(
+            name=name, patterns=self_test_patterns, power=self_test_power
+        ),
+        application=application or BistApplication(power=180.0),
+        memory_bytes=memory_bytes,
+        clock_ratio=clock_ratio,
+    )

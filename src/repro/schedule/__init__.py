@@ -1,0 +1,51 @@
+"""Test planning and scheduling — the paper's primary contribution.
+
+Given a system (placed cores, a configured NoC, external I/O ports and a set
+of reused processors), the scheduler produces a test plan: which test
+interface tests which core, when, over which NoC paths, and how long the whole
+system test takes.
+
+* :mod:`repro.schedule.job` turns a (core, interface) pairing into a concrete
+  test job with duration, power and NoC resource requirements.
+* :mod:`repro.schedule.priority` orders cores by their distance to the test
+  resources ("the cores closer to IO ports or processors are tested first").
+* :mod:`repro.schedule.power` tracks the instantaneous test power against the
+  paper's percentage-of-total power ceiling.
+* :mod:`repro.schedule.pathalloc` manages exclusive reservation of NoC links
+  and router local ports.
+* :mod:`repro.schedule.greedy` implements the paper's greedy scheduler;
+  :mod:`repro.schedule.variants` implements the look-ahead variant used to
+  explain the p22810 irregularity; :mod:`repro.schedule.baseline` builds the
+  no-processor-reuse baseline.
+* :mod:`repro.schedule.result` defines the schedule data structure and checks
+  its invariants; :mod:`repro.schedule.planner` is the one-call public entry
+  point.
+"""
+
+from repro.schedule.job import TestJob, build_job
+from repro.schedule.power import PowerConstraint, PowerTracker
+from repro.schedule.pathalloc import LinkAllocator
+from repro.schedule.priority import distance_priority, priority_order
+from repro.schedule.result import Assignment, ScheduleResult, validate_schedule
+from repro.schedule.greedy import GreedyScheduler
+from repro.schedule.variants import FastestCompletionScheduler
+from repro.schedule.baseline import external_only_schedule
+from repro.schedule.planner import PlanRequest, TestPlanner
+
+__all__ = [
+    "TestJob",
+    "build_job",
+    "PowerConstraint",
+    "PowerTracker",
+    "LinkAllocator",
+    "distance_priority",
+    "priority_order",
+    "Assignment",
+    "ScheduleResult",
+    "validate_schedule",
+    "GreedyScheduler",
+    "FastestCompletionScheduler",
+    "external_only_schedule",
+    "PlanRequest",
+    "TestPlanner",
+]

@@ -1,0 +1,48 @@
+"""The no-processor-reuse baseline ("noproc" in the paper's Figure 1).
+
+Without processor reuse the only test resources are the external interfaces,
+so every core test streams through the ATE ports one after the other (two
+external ports — one input, one output — allow exactly one concurrent test).
+The baseline is produced by the very same greedy scheduler, just with an
+interface list stripped of all processor interfaces; this keeps the comparison
+apples-to-apples, exactly like the paper's "noproc" bars.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cores.core import CoreUnderTest
+from repro.noc.network import Network
+from repro.schedule.greedy import EventDrivenScheduler, GreedyScheduler
+from repro.schedule.power import PowerConstraint
+from repro.schedule.result import ScheduleResult
+from repro.tam.interfaces import TestInterface
+
+
+def external_only_schedule(
+    *,
+    system_name: str,
+    cores: Sequence[CoreUnderTest],
+    interfaces: Sequence[TestInterface],
+    network: Network,
+    power_constraint: PowerConstraint | None = None,
+    scheduler: EventDrivenScheduler | None = None,
+) -> ScheduleResult:
+    """Schedule ``cores`` using only the external interfaces of ``interfaces``.
+
+    Processor cores are still tested (they are cores of the system and the
+    paper's "noproc" baseline includes them); they simply never act as test
+    sources or sinks.
+    """
+    scheduler = scheduler or GreedyScheduler()
+    external = [interface for interface in interfaces if interface.is_external]
+    result = scheduler.schedule(
+        system_name=system_name,
+        cores=cores,
+        interfaces=external,
+        network=network,
+        power_constraint=power_constraint,
+        metadata={"baseline": "external-only"},
+    )
+    return result

@@ -1,0 +1,286 @@
+"""Event-driven test schedulers, including the paper's greedy policy.
+
+The paper's scheduler is greedy: whenever a test interface is (or becomes)
+available, it immediately receives the highest-priority core that can start —
+"the greedy behavior of the presented algorithm forces it to select the first
+test interface available", even when a faster interface would become free a
+few cycles later.
+
+:class:`EventDrivenScheduler` implements the shared machinery (event loop,
+resource/power bookkeeping, processor enablement, schedule assembly) and
+delegates the actual pairing decision to :meth:`select_assignment`, so the
+paper's policy (:class:`GreedyScheduler`) and the look-ahead variant used by
+the ablation study (:class:`~repro.schedule.variants.FastestCompletionScheduler`)
+share every other line of code.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.cores.core import CoreUnderTest
+from repro.errors import PowerBudgetError, SchedulingError
+from repro.noc.network import Network
+from repro.schedule.job import TestJob, build_job
+from repro.schedule.pathalloc import LinkAllocator
+from repro.schedule.power import PowerConstraint, PowerTracker
+from repro.schedule.priority import PriorityKey, distance_priority, priority_order
+from repro.schedule.result import Assignment, ScheduleResult
+from repro.tam.interfaces import TestInterface
+from repro.tam.pool import ResourcePool
+
+#: Factory signature for priority keys; receives cores, interfaces, network.
+PriorityFactory = Callable[
+    [Sequence[CoreUnderTest], Sequence[TestInterface], Network], PriorityKey
+]
+
+
+@dataclass
+class _ActiveTest:
+    """A test currently occupying resources inside the event loop."""
+
+    assignment: Assignment
+    core: CoreUnderTest
+
+
+class EventDrivenScheduler:
+    """Shared event loop of all schedulers in this package."""
+
+    #: Human readable policy name recorded in the produced schedules.
+    name = "event-driven"
+
+    def __init__(self, priority_factory: PriorityFactory = distance_priority):
+        self._priority_factory = priority_factory
+
+    # ------------------------------------------------------------------
+    # Policy hook.
+    # ------------------------------------------------------------------
+    def select_assignment(
+        self,
+        now: int,
+        pending: list[CoreUnderTest],
+        pool: ResourcePool,
+        allocator: LinkAllocator,
+        tracker: PowerTracker,
+        jobs: dict[tuple[str, str], TestJob],
+    ) -> tuple[CoreUnderTest, TestInterface] | None:
+        """Return the next (core, interface) pair to start at ``now``.
+
+        Subclasses implement the scheduling policy here.  Returning ``None``
+        means nothing more can start at this instant; the loop then advances
+        time to the next event.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Event loop.
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        *,
+        system_name: str,
+        cores: Sequence[CoreUnderTest],
+        interfaces: Sequence[TestInterface],
+        network: Network,
+        power_constraint: PowerConstraint | None = None,
+        metadata: dict[str, object] | None = None,
+    ) -> ScheduleResult:
+        """Produce a complete test plan for ``cores`` using ``interfaces``.
+
+        Args:
+            system_name: recorded in the result for reporting.
+            cores: every core that must be tested (processor cores included).
+            interfaces: the test interfaces offered to the scheduler; processor
+                interfaces must reference cores present in ``cores``.
+            network: the configured NoC.
+            power_constraint: optional power ceiling; defaults to
+                unconstrained.
+            metadata: free-form information copied into the result.
+
+        Raises:
+            SchedulingError: when no feasible plan exists (e.g. a processor
+                interface references a missing core).
+            PowerBudgetError: when a core test alone exceeds the power ceiling.
+        """
+        power_constraint = power_constraint or PowerConstraint.unconstrained()
+        self._check_inputs(cores, interfaces)
+
+        pool = ResourcePool(interfaces)
+        allocator = LinkAllocator()
+        tracker = PowerTracker(power_constraint)
+        jobs = self._build_jobs(cores, interfaces, network)
+
+        key = self._priority_factory(cores, interfaces, network)
+        pending = priority_order(cores, key)
+
+        assignments: list[Assignment] = []
+        active: list[tuple[int, int, _ActiveTest]] = []
+        sequence = itertools.count()
+        now = 0
+        iteration_guard = 0
+        max_iterations = 10 * len(cores) * max(len(interfaces), 1) + 1000
+
+        while pending:
+            iteration_guard += 1
+            if iteration_guard > max_iterations:
+                raise SchedulingError(
+                    "scheduler did not converge; this indicates an internal bug"
+                )
+
+            started_any = False
+            while True:
+                selection = self.select_assignment(
+                    now, pending, pool, allocator, tracker, jobs
+                )
+                if selection is None:
+                    break
+                core, interface = selection
+                job = jobs[(core.identifier, interface.identifier)]
+                start = now
+                end = now + job.duration
+                allocator.reserve(job.core_id, job.resources, start, end)
+                pool.occupy(interface.identifier, start, end)
+                tracker.start(job.core_id, job.power)
+                assignment = Assignment(job=job, start=start, end=end)
+                assignments.append(assignment)
+                heapq.heappush(active, (end, next(sequence), _ActiveTest(assignment, core)))
+                pending.remove(core)
+                started_any = True
+
+            if not pending:
+                break
+
+            if not active:
+                self._explain_deadlock(now, pending, interfaces, tracker, jobs)
+
+            # Advance to the completion of the earliest running test and retire
+            # every test that finishes at that instant.
+            now = active[0][0]
+            while active and active[0][0] == now:
+                _, _, finished = heapq.heappop(active)
+                tracker.finish(finished.assignment.core_id)
+                if finished.core.is_processor:
+                    for state in pool.processor_interfaces_for(finished.core.identifier):
+                        pool.enable(state.identifier, now)
+
+        metadata = dict(metadata or {})
+        metadata.setdefault("scheduler", self.name)
+        metadata.setdefault("interface_count", len(interfaces))
+        result = ScheduleResult(
+            system_name=system_name,
+            scheduler_name=self.name,
+            assignments=sorted(assignments, key=lambda a: (a.start, a.core_id)),
+            interfaces=list(interfaces),
+            power_constraint=power_constraint,
+            metadata=metadata,
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Helpers.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_inputs(
+        cores: Sequence[CoreUnderTest], interfaces: Sequence[TestInterface]
+    ) -> None:
+        if not cores:
+            raise SchedulingError("there is nothing to schedule: no cores given")
+        if not interfaces:
+            raise SchedulingError("cannot schedule without any test interface")
+        core_ids = {core.identifier for core in cores}
+        if len(core_ids) != len(cores):
+            raise SchedulingError("core identifiers must be unique")
+        for interface in interfaces:
+            if interface.processor_core_id and interface.processor_core_id not in core_ids:
+                raise SchedulingError(
+                    f"interface {interface.identifier!r} references processor core "
+                    f"{interface.processor_core_id!r}, which is not among the cores"
+                )
+
+    @staticmethod
+    def _build_jobs(
+        cores: Sequence[CoreUnderTest],
+        interfaces: Sequence[TestInterface],
+        network: Network,
+    ) -> dict[tuple[str, str], TestJob]:
+        jobs: dict[tuple[str, str], TestJob] = {}
+        for core in cores:
+            for interface in interfaces:
+                if interface.processor_core_id == core.identifier:
+                    continue  # a processor cannot test itself
+                jobs[(core.identifier, interface.identifier)] = build_job(
+                    core, interface, network
+                )
+        return jobs
+
+    @staticmethod
+    def _explain_deadlock(
+        now: int,
+        pending: Sequence[CoreUnderTest],
+        interfaces: Sequence[TestInterface],
+        tracker: PowerTracker,
+        jobs: dict[tuple[str, str], TestJob],
+    ) -> None:
+        """Raise the most informative error for a stalled schedule."""
+        for core in pending:
+            feasible_power = False
+            for interface in interfaces:
+                job = jobs.get((core.identifier, interface.identifier))
+                if job is None:
+                    continue
+                if tracker.constraint.allows(job.power):
+                    feasible_power = True
+                    break
+            if not feasible_power:
+                job_powers = [
+                    jobs[(core.identifier, i.identifier)].power
+                    for i in interfaces
+                    if (core.identifier, i.identifier) in jobs
+                ]
+                raise PowerBudgetError(
+                    f"core {core.identifier!r} can never be tested: its cheapest "
+                    f"test draws {min(job_powers):.1f} power units, above the "
+                    f"ceiling ({tracker.constraint.description})"
+                )
+        names = ", ".join(core.identifier for core in pending)
+        raise SchedulingError(
+            f"schedule stalled at cycle {now} with untested cores: {names}; "
+            "this usually means every remaining core depends on a processor "
+            "interface whose processor is itself untestable"
+        )
+
+
+class GreedyScheduler(EventDrivenScheduler):
+    """The paper's greedy policy: first available interface, priority cores.
+
+    Whenever an interface is idle it immediately grabs the highest-priority
+    core whose NoC paths are free and whose power fits under the ceiling —
+    even when another, faster interface would become free shortly after.
+    """
+
+    name = "greedy-first-available"
+
+    def select_assignment(
+        self,
+        now: int,
+        pending: list[CoreUnderTest],
+        pool: ResourcePool,
+        allocator: LinkAllocator,
+        tracker: PowerTracker,
+        jobs: dict[tuple[str, str], TestJob],
+    ) -> tuple[CoreUnderTest, TestInterface] | None:
+        for state in pool.available(now):
+            interface = state.interface
+            for core in pending:
+                job = jobs.get((core.identifier, interface.identifier))
+                if job is None:
+                    continue
+                if not allocator.is_free(job.resources, now):
+                    continue
+                if not tracker.can_start(job.core_id, job.power):
+                    continue
+                return core, interface
+        return None

@@ -1,0 +1,70 @@
+"""Exclusive reservation of NoC links and router local ports.
+
+While a test runs, its stimulus and response routes are dedicated connections:
+no other test may use any channel (or endpoint local port) of those routes.
+:class:`LinkAllocator` keeps, for every resource, the time until which it is
+held, and answers availability queries for the event-driven schedulers.
+
+The schedulers only ever start jobs at the current event time and hold
+resources for the whole job, so a simple "busy until" map is sufficient — no
+interval trees are needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.errors import SchedulingError
+from repro.noc.links import Link
+
+
+@dataclass
+class LinkAllocator:
+    """Busy-until bookkeeping for exclusive NoC resources."""
+
+    _busy_until: dict[Link, float] = field(default_factory=dict)
+    _holder: dict[Link, str] = field(default_factory=dict)
+
+    def is_free(self, resources: Iterable[Link], now: float) -> bool:
+        """True when every resource in ``resources`` is free at time ``now``."""
+        return all(self._busy_until.get(resource, 0.0) <= now for resource in resources)
+
+    def earliest_free(self, resources: Iterable[Link]) -> float:
+        """Earliest time at which all of ``resources`` are simultaneously free.
+
+        This is a lower bound: a resource released at that time could be
+        re-acquired by another job first, so callers must re-check with
+        :meth:`is_free` at the actual decision instant.
+        """
+        return max((self._busy_until.get(resource, 0.0) for resource in resources), default=0.0)
+
+    def reserve(self, job_id: str, resources: Iterable[Link], now: float, until: float) -> None:
+        """Hold ``resources`` for ``job_id`` from ``now`` until ``until``.
+
+        Raises:
+            SchedulingError: if any resource is still held by another job —
+                this indicates a bug in the calling scheduler, not a user
+                error, so it is loud on purpose.
+        """
+        if until < now:
+            raise SchedulingError("reservation end must not precede its start")
+        resources = list(resources)
+        for resource in resources:
+            if self._busy_until.get(resource, 0.0) > now:
+                raise SchedulingError(
+                    f"resource {resource} is still held by "
+                    f"{self._holder.get(resource, 'unknown')!r} at time {now}, "
+                    f"cannot reserve it for {job_id!r}"
+                )
+        for resource in resources:
+            self._busy_until[resource] = until
+            self._holder[resource] = job_id
+
+    def holder_of(self, resource: Link) -> str | None:
+        """Identifier of the job currently holding ``resource`` (if any)."""
+        return self._holder.get(resource)
+
+    def utilisation_snapshot(self) -> dict[Link, float]:
+        """Copy of the busy-until map (useful for debugging and reports)."""
+        return dict(self._busy_until)

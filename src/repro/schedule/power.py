@@ -1,0 +1,122 @@
+"""Power constraint and instantaneous power tracking.
+
+The paper expresses the power limit "as a percentage of the sum of all cores
+power consumption": a 50 % limit means that at no instant may the sum of the
+power of all concurrently running tests (cores + test sources + NoC traffic)
+exceed half of the sum of the test power of every core in the system.
+
+:class:`PowerConstraint` captures the limit; :class:`PowerTracker` maintains
+the set of currently running jobs and answers "can this job start now without
+busting the ceiling?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, PowerBudgetError
+
+
+@dataclass(frozen=True)
+class PowerConstraint:
+    """A system-wide ceiling on instantaneous test power.
+
+    Attributes:
+        limit: absolute ceiling in power units; ``None`` disables the
+            constraint (the paper's "no power limit" series).
+        description: human readable origin of the limit (e.g. ``"50% of
+            total core power"``), used in reports.
+    """
+
+    limit: float | None = None
+    description: str = "unconstrained"
+
+    def __post_init__(self) -> None:
+        if self.limit is not None and self.limit <= 0:
+            raise ConfigurationError("power limit must be positive when set")
+
+    @classmethod
+    def unconstrained(cls) -> "PowerConstraint":
+        """The paper's "no power limit" configuration."""
+        return cls(limit=None, description="no power limit")
+
+    @classmethod
+    def fraction_of_total(cls, total_core_power: float, fraction: float) -> "PowerConstraint":
+        """Ceiling defined as ``fraction`` of the sum of all core powers.
+
+        ``fraction`` is expressed as a ratio (0.5 for the paper's "50 % power
+        limit").
+        """
+        if not 0 < fraction:
+            raise ConfigurationError("power fraction must be positive")
+        if total_core_power <= 0:
+            raise ConfigurationError(
+                "total core power must be positive to derive a fractional limit"
+            )
+        return cls(
+            limit=total_core_power * fraction,
+            description=f"{fraction:.0%} of total core power",
+        )
+
+    @property
+    def constrained(self) -> bool:
+        """True when a finite ceiling applies."""
+        return self.limit is not None
+
+    def allows(self, power: float) -> bool:
+        """True when an instantaneous power of ``power`` respects the ceiling."""
+        return self.limit is None or power <= self.limit + 1e-9
+
+
+@dataclass
+class PowerTracker:
+    """Tracks the power of currently running jobs against a constraint."""
+
+    constraint: PowerConstraint
+    _active: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def current_power(self) -> float:
+        """Sum of the power of all currently running jobs."""
+        return sum(self._active.values())
+
+    @property
+    def active_jobs(self) -> tuple[str, ...]:
+        """Identifiers of the currently running jobs."""
+        return tuple(self._active)
+
+    def can_start(self, job_id: str, power: float) -> bool:
+        """True when starting a job drawing ``power`` respects the ceiling."""
+        return self.constraint.allows(self.current_power + power)
+
+    def check_feasible(self, job_id: str, power: float) -> None:
+        """Raise when the job could never run, even alone.
+
+        A job whose own power already exceeds the ceiling would deadlock the
+        scheduler (it can never start); this is reported as a distinct error
+        so the user can fix the power model or the limit.
+        """
+        if not self.constraint.allows(power):
+            raise PowerBudgetError(
+                f"job {job_id!r} draws {power:.1f} power units on its own, which "
+                f"exceeds the ceiling of {self.constraint.limit:.1f} "
+                f"({self.constraint.description})"
+            )
+
+    def start(self, job_id: str, power: float) -> None:
+        """Register a job as running."""
+        if job_id in self._active:
+            raise ConfigurationError(f"job {job_id!r} is already running")
+        if not self.can_start(job_id, power):
+            raise PowerBudgetError(
+                f"starting job {job_id!r} ({power:.1f} pu) would exceed the power "
+                f"ceiling of {self.constraint.limit:.1f} pu"
+            )
+        self._active[job_id] = power
+
+    def finish(self, job_id: str) -> None:
+        """Unregister a finished job."""
+        try:
+            del self._active[job_id]
+        except KeyError as exc:
+            raise ConfigurationError(f"job {job_id!r} is not running") from exc

@@ -1,0 +1,96 @@
+"""Scheduler variants used by the ablation experiments.
+
+The paper itself points out the weakness of its greedy policy: "if a processor
+is available in a given instant and an external tester is available a few
+instants later, the resource used will be the processor [...]  However, the
+external tester should be used because it is faster than the processor."  The
+:class:`FastestCompletionScheduler` below repairs exactly that decision — for
+every core it estimates the completion time on every interface (including
+interfaces that are currently busy) and only starts the test when the
+best-completing interface is actually the one at hand.  Comparing the two
+policies on p22810 reproduces (and explains) the irregular bars of Figure 1.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.cores.core import CoreUnderTest
+from repro.schedule.greedy import EventDrivenScheduler
+from repro.schedule.job import TestJob
+from repro.schedule.pathalloc import LinkAllocator
+from repro.schedule.power import PowerTracker
+from repro.schedule.priority import distance_priority
+from repro.tam.interfaces import TestInterface
+from repro.tam.pool import NEVER, ResourcePool
+
+
+class FastestCompletionScheduler(EventDrivenScheduler):
+    """Assign each core to the interface that completes its test earliest.
+
+    For the highest-priority pending core the scheduler estimates, for every
+    interface that is already enabled (or whose processor test is at least
+    scheduled), the earliest completion time ``max(now, available, links free)
+    + duration``.  The core is only started now if the interface minimising
+    that estimate is available now; otherwise the core waits — deliberately
+    leaving an interface idle when a faster one frees up soon, which is the
+    look-ahead the paper says its greedy tool lacks.
+
+    Lower-priority cores may still fill the idle interface if their own best
+    choice is available, so the policy does not waste resources globally.
+    """
+
+    name = "fastest-completion"
+
+    def __init__(self, priority_factory=distance_priority):
+        super().__init__(priority_factory)
+
+    def select_assignment(
+        self,
+        now: int,
+        pending: list[CoreUnderTest],
+        pool: ResourcePool,
+        allocator: LinkAllocator,
+        tracker: PowerTracker,
+        jobs: dict[tuple[str, str], TestJob],
+    ) -> tuple[CoreUnderTest, TestInterface] | None:
+        available_now = {state.identifier for state in pool.available(now)}
+        if not available_now:
+            return None
+
+        for core in pending:
+            best: tuple[float, str] | None = None
+            for state in pool:
+                interface = state.interface
+                job = jobs.get((core.identifier, interface.identifier))
+                if job is None:
+                    continue
+                enabled_at = state.enabled_at
+                if enabled_at == NEVER:
+                    # The processor of this interface has not even been
+                    # scheduled yet; it cannot be a sensible target.
+                    continue
+                earliest_start = max(
+                    float(now),
+                    state.available_at(),
+                    allocator.earliest_free(job.resources),
+                )
+                completion = earliest_start + job.duration
+                key = (completion, interface.identifier)
+                if best is None or key < best:
+                    best = key
+            if best is None:
+                continue
+            _, best_interface_id = best
+            if best_interface_id not in available_now:
+                # The best interface is busy right now: wait for it instead of
+                # settling for a slower one (the anti-greedy decision).
+                continue
+            job = jobs[(core.identifier, best_interface_id)]
+            if not allocator.is_free(job.resources, now):
+                continue
+            if not tracker.can_start(job.core_id, job.power):
+                continue
+            interface = pool.state(best_interface_id).interface
+            return core, interface
+        return None

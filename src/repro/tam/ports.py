@@ -1,0 +1,76 @@
+"""External tester I/O ports.
+
+The designer supplies "the number and position of the IO ports that can be
+connected to the external tester" (paper, Section 2).  An input port injects
+test stimuli from the ATE into the NoC; an output port drains responses back
+to the ATE.  One input port paired with one output port forms one *external
+test interface* — the paper's experiments use exactly one such pair ("two
+external interfaces (input and output)").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ResourceError
+from repro.noc.topology import NodeCoordinate
+from repro.units import EXTERNAL_TESTER_CYCLES_PER_PATTERN
+
+
+class PortDirection(enum.Enum):
+    """Direction of an external I/O port, from the chip's point of view."""
+
+    INPUT = "input"
+    OUTPUT = "output"
+
+
+@dataclass(frozen=True)
+class IoPort:
+    """An external tester access port attached to a NoC node.
+
+    Attributes:
+        name: port name (e.g. ``"ext_in0"``).
+        node: NoC node the port is attached to.
+        direction: whether the ATE drives stimuli in or collects responses out.
+        power: power drawn by the port/ATE channel while a test streams
+            through it (usually negligible; defaults to 0).
+    """
+
+    name: str
+    node: NodeCoordinate
+    direction: PortDirection
+    power: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ResourceError("I/O port name must not be empty")
+        if self.power < 0:
+            raise ResourceError(f"I/O port {self.name!r}: power must be non-negative")
+
+
+def pair_external_interfaces(ports: list[IoPort]) -> list[tuple[IoPort, IoPort]]:
+    """Pair input ports with output ports into external test interfaces.
+
+    The i-th input port is paired with the i-th output port (declaration
+    order).  The number of external interfaces is therefore
+    ``min(#inputs, #outputs)``; unpaired ports are ignored, mirroring the fact
+    that a source without a sink (or vice versa) cannot run a test.
+
+    Raises:
+        ResourceError: if no complete input/output pair exists.
+    """
+    inputs = [port for port in ports if port.direction is PortDirection.INPUT]
+    outputs = [port for port in ports if port.direction is PortDirection.OUTPUT]
+    pairs = list(zip(inputs, outputs))
+    if not pairs:
+        raise ResourceError(
+            "at least one input port and one output port are required to form "
+            "an external test interface"
+        )
+    return pairs
+
+
+#: Cycles the external tester needs to produce one pattern (the paper assumes
+#: the ATE streams patterns with zero generation overhead).
+EXTERNAL_CYCLES_PER_PATTERN = EXTERNAL_TESTER_CYCLES_PER_PATTERN

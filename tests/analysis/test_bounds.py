@@ -1,0 +1,63 @@
+"""Tests of the makespan lower bounds and efficiency reporting."""
+
+import pytest
+
+from repro.analysis.bounds import (
+    bound_report,
+    makespan_lower_bounds,
+    schedule_efficiency,
+)
+from repro.schedule.planner import TestPlanner
+from repro.system.presets import build_paper_system
+
+
+class TestMakespanBounds:
+    def test_bounds_are_true_lower_bounds_on_toy_system(self, toy_system):
+        planner = TestPlanner(toy_system)
+        for count in (0, 2):
+            bounds = makespan_lower_bounds(toy_system, reused_processors=count)
+            result = planner.plan(reused_processors=count)
+            assert bounds.tightest <= result.makespan
+            assert bounds.critical_core <= result.makespan
+            assert bounds.resource_work <= result.makespan
+
+    def test_noproc_bottleneck_equals_serial_work(self, toy_system):
+        bounds = makespan_lower_bounds(toy_system, reused_processors=0)
+        result = TestPlanner(toy_system).plan(reused_processors=0)
+        # With a single external interface the bottleneck bound is the whole
+        # serial workload, and the greedy schedule achieves exactly that.
+        assert bounds.bottleneck == result.makespan
+        assert bounds.tightest == result.makespan
+
+    def test_more_interfaces_weaken_the_work_bound(self, toy_system):
+        noproc = makespan_lower_bounds(toy_system, reused_processors=0)
+        reuse = makespan_lower_bounds(toy_system, reused_processors=2)
+        assert reuse.resource_work <= noproc.resource_work
+
+    def test_bounds_hold_for_paper_system(self):
+        system = build_paper_system("d695_leon")
+        result = TestPlanner(system).plan(reused_processors=6)
+        bounds = makespan_lower_bounds(system, reused_processors=6)
+        assert bounds.tightest <= result.makespan
+
+
+class TestScheduleEfficiency:
+    def test_noproc_schedule_is_provably_optimal(self, toy_system):
+        result = TestPlanner(toy_system).plan(reused_processors=0)
+        bounds = makespan_lower_bounds(toy_system, reused_processors=0)
+        assert schedule_efficiency(result, bounds) == pytest.approx(1.0)
+
+    def test_efficiency_bounded_by_one(self, toy_system):
+        result = TestPlanner(toy_system).plan(reused_processors=2)
+        bounds = makespan_lower_bounds(toy_system, reused_processors=2)
+        assert 0.0 < schedule_efficiency(result, bounds) <= 1.0
+
+
+class TestBoundReport:
+    def test_report_mentions_all_bounds(self, toy_system):
+        result = TestPlanner(toy_system).plan(reused_processors=2)
+        text = bound_report(toy_system, result)
+        assert "critical core bound" in text
+        assert "resource work bound" in text
+        assert "bound efficiency" in text
+        assert str(result.makespan) in text

@@ -1,0 +1,49 @@
+"""Tests of CSV/JSON export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.analysis.export import schedule_to_json, schedule_to_rows, sweep_to_csv
+from repro.schedule.planner import TestPlanner
+
+
+@pytest.fixture
+def planner(toy_system):
+    return TestPlanner(toy_system)
+
+
+class TestScheduleToRows:
+    def test_one_row_per_assignment(self, planner, toy_system):
+        result = planner.plan(reused_processors=1)
+        rows = schedule_to_rows(result)
+        assert len(rows) == toy_system.core_count
+        assert {row["core"] for row in rows} == set(toy_system.core_ids)
+        for row in rows:
+            assert row["end"] == row["start"] + row["duration"]
+
+
+class TestScheduleToJson:
+    def test_valid_json_with_expected_fields(self, planner):
+        result = planner.plan(reused_processors=1, power_limit_fraction=0.75)
+        document = json.loads(schedule_to_json(result))
+        assert document["system"] == "toy_plasma"
+        assert document["makespan"] == result.makespan
+        assert document["power_constraint"]["limit"] == pytest.approx(
+            result.power_constraint.limit
+        )
+        assert len(document["assignments"]) == result.test_count
+        assert document["metadata"]["reused_processors"] == 1
+
+
+class TestSweepToCsv:
+    def test_csv_parses_back(self, planner):
+        sweeps = {"no power limit": planner.sweep_processor_counts([0, 2])}
+        text = sweep_to_csv(sweeps)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert rows[0]["series"] == "no power limit"
+        assert int(rows[0]["processors"]) == 0
+        assert int(rows[0]["makespan"]) == sweeps["no power limit"][0].makespan

@@ -1,0 +1,55 @@
+"""Tests of schedule metrics."""
+
+import pytest
+
+from repro.analysis.metrics import compare_schedules, compute_metrics, reduction_table
+from repro.schedule.planner import TestPlanner
+
+
+@pytest.fixture
+def planner(toy_system):
+    return TestPlanner(toy_system)
+
+
+class TestComputeMetrics:
+    def test_metrics_of_noproc_schedule(self, planner, toy_system):
+        result = planner.plan(reused_processors=0)
+        metrics = compute_metrics(result)
+        assert metrics.makespan == result.makespan
+        assert metrics.test_count == toy_system.core_count
+        assert metrics.external_share == pytest.approx(1.0)
+        assert metrics.average_parallelism == pytest.approx(1.0, abs=0.05)
+        assert 0.0 < metrics.interface_utilisation["ext0"] <= 1.0
+
+    def test_processor_share_grows_with_reuse(self, planner):
+        reuse = compute_metrics(planner.plan(reused_processors=2))
+        assert reuse.external_share < 1.0
+        assert any(
+            utilisation > 0
+            for name, utilisation in reuse.interface_utilisation.items()
+            if name.startswith("proc")
+        )
+
+
+class TestCompareSchedules:
+    def test_reduction_percent(self, planner):
+        baseline = planner.plan(reused_processors=0)
+        reuse = planner.plan(reused_processors=2)
+        reduction = compare_schedules(baseline, reuse)
+        expected = 100.0 * (baseline.makespan - reuse.makespan) / baseline.makespan
+        assert reduction == pytest.approx(expected)
+
+
+class TestReductionTable:
+    def test_rows(self, planner):
+        sweep = planner.sweep_processor_counts([0, 1, 2])
+        rows = reduction_table(sweep)
+        assert [row[0] for row in rows] == [0, 1, 2]
+        assert rows[0][2] == pytest.approx(0.0)
+        for count, makespan, reduction in rows:
+            assert makespan == sweep[count].makespan
+
+    def test_requires_baseline(self, planner):
+        sweep = planner.sweep_processor_counts([1, 2])
+        with pytest.raises(KeyError):
+            reduction_table(sweep)

@@ -1,0 +1,67 @@
+"""Tests of the text report renderers and the Gantt chart."""
+
+import pytest
+
+from repro.analysis.gantt import gantt_chart
+from repro.analysis.report import schedule_report, sweep_table
+from repro.schedule.planner import TestPlanner
+from repro.schedule.power import PowerConstraint
+from repro.schedule.result import ScheduleResult
+
+
+@pytest.fixture
+def planner(toy_system):
+    return TestPlanner(toy_system)
+
+
+class TestSweepTable:
+    def test_contains_all_rows_and_series(self, planner):
+        sweeps = {
+            "no power limit": planner.sweep_processor_counts([0, 2]),
+            "75% power limit": planner.sweep_processor_counts([0, 2], power_limit_fraction=0.75),
+        }
+        table = sweep_table(sweeps, title="toy panel")
+        assert "toy panel" in table
+        assert "noproc" in table
+        assert "2proc" in table
+        assert "no power limit [cycles]" in table
+        assert "75% power limit [cycles]" in table
+        # Baseline rows show a 0.0% reduction.
+        assert "0.0%" in table
+
+    def test_empty_input(self):
+        assert "(no data)" in sweep_table({})
+
+
+class TestScheduleReport:
+    def test_mentions_key_metrics(self, planner):
+        result = planner.plan(reused_processors=2)
+        report = schedule_report(result)
+        assert "makespan" in report
+        assert str(result.makespan) in report
+        assert "ext0" in report
+        assert "proc.plasma1" in report
+
+
+class TestGanttChart:
+    def test_contains_interfaces_and_axis(self, planner):
+        result = planner.plan(reused_processors=2)
+        chart = gantt_chart(result, width=80)
+        assert "ext0" in chart
+        assert str(result.makespan) in chart
+        assert "#" in chart
+
+    def test_empty_schedule(self):
+        result = ScheduleResult(
+            system_name="empty",
+            scheduler_name="none",
+            assignments=[],
+            interfaces=[],
+            power_constraint=PowerConstraint.unconstrained(),
+        )
+        assert "empty schedule" in gantt_chart(result)
+
+    def test_tiny_width_clamped(self, planner):
+        result = planner.plan(reused_processors=0)
+        chart = gantt_chart(result, width=3)
+        assert "#" in chart

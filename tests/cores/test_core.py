@@ -1,0 +1,71 @@
+"""Tests of the core-under-test abstraction."""
+
+import pytest
+
+from repro.cores.core import CoreUnderTest, build_core, build_cores, total_power
+from repro.errors import ConfigurationError
+
+from tests.conftest import make_benchmark, make_module
+
+
+class TestBuildCore:
+    def test_build_core_defaults(self):
+        module = make_module("alpha", power=75.0)
+        core = build_core(module, flit_width=8)
+        assert core.identifier == "alpha"
+        assert core.power == 75.0
+        assert not core.is_processor
+        assert not core.placed
+        assert core.patterns == module.patterns
+        assert core.application_time == core.wrapper.test_time
+
+    def test_processor_core_requires_name(self):
+        module = make_module("cpu")
+        with pytest.raises(ConfigurationError):
+            CoreUnderTest(
+                identifier="cpu",
+                module=module,
+                wrapper=build_core(module, flit_width=8).wrapper,
+                test_set=build_core(module, flit_width=8).test_set,
+                power=10.0,
+                is_processor=True,
+            )
+
+    def test_processor_core_with_name(self):
+        core = build_core(
+            make_module("cpu"), flit_width=8, is_processor=True, processor_name="leon"
+        )
+        assert core.is_processor
+        assert core.processor_name == "leon"
+
+    def test_place_at(self):
+        core = build_core(make_module(), flit_width=8)
+        core.place_at((2, 1))
+        assert core.placed
+        assert core.node == (2, 1)
+
+    def test_empty_identifier_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_core(make_module(), flit_width=8, identifier="")
+
+
+class TestBuildCores:
+    def test_identifier_prefixing(self, toy_benchmark):
+        cores = build_cores(toy_benchmark, flit_width=16)
+        assert [core.identifier for core in cores] == [
+            f"toy.{module.name}" for module in toy_benchmark.modules
+        ]
+
+    def test_explicit_empty_prefix(self, toy_benchmark):
+        cores = build_cores(toy_benchmark, flit_width=16, identifier_prefix="")
+        assert [core.identifier for core in cores] == [
+            module.name for module in toy_benchmark.modules
+        ]
+
+    def test_total_power(self, toy_benchmark):
+        cores = build_cores(toy_benchmark, flit_width=16)
+        assert total_power(cores) == pytest.approx(toy_benchmark.total_power)
+
+    def test_wrapper_width_matches_flit_width(self, toy_benchmark):
+        cores = build_cores(toy_benchmark, flit_width=16)
+        assert all(core.wrapper.width == 16 for core in cores)

@@ -1,0 +1,52 @@
+"""Tests of the synthetic power model."""
+
+import pytest
+
+from repro.cores.power import PowerModel, assign_power
+from repro.errors import ConfigurationError
+
+from tests.conftest import make_benchmark, make_module
+
+
+class TestPowerModel:
+    def test_power_scales_with_size(self):
+        model = PowerModel(jitter=0.0)
+        small = make_module("small", inputs=2, outputs=2, chain_lengths=(10,))
+        large = make_module("large", inputs=200, outputs=200, chain_lengths=(500, 500))
+        assert model.power_of(large) > model.power_of(small)
+
+    def test_power_deterministic(self):
+        model = PowerModel()
+        module = make_module("thing")
+        assert model.power_of(module) == model.power_of(module)
+
+    def test_jitter_bounded(self):
+        model = PowerModel(floor=0.0, slope=1.0, jitter=0.2)
+        module = make_module("x", inputs=100, outputs=100, chain_lengths=(100,))
+        size = 100 + 100 + 100
+        power = model.power_of(module)
+        assert 0.8 * size <= power <= 1.2 * size
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(floor=-1.0)
+        with pytest.raises(ConfigurationError):
+            PowerModel(jitter=1.5)
+
+
+class TestAssignPower:
+    def test_only_missing_preserves_existing(self):
+        benchmark = make_benchmark()  # modules carry power already
+        powered = assign_power(benchmark)
+        assert [m.power for m in powered.modules] == [m.power for m in benchmark.modules]
+
+    def test_fills_missing_values(self):
+        benchmark = make_benchmark().with_powers([0.0, 0.0, 10.0, 0.0])
+        powered = assign_power(benchmark)
+        assert all(m.power > 0 for m in powered.modules)
+        assert powered.modules[2].power == 10.0
+
+    def test_reassign_all(self):
+        benchmark = make_benchmark()
+        powered = assign_power(benchmark, PowerModel(jitter=0.0), only_missing=False)
+        assert [m.power for m in powered.modules] != [m.power for m in benchmark.modules]

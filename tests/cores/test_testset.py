@@ -1,0 +1,34 @@
+"""Tests of the test-set aggregation."""
+
+import pytest
+
+from repro.cores.testset import TestSet
+from repro.cores.wrapper import design_wrapper
+
+from tests.conftest import make_module
+
+
+class TestTestSet:
+    def test_from_wrapper(self):
+        module = make_module(inputs=4, outputs=6, chain_lengths=(10, 10), patterns=5)
+        design = design_wrapper(module, width=4)
+        test_set = TestSet.from_wrapper(design)
+        assert test_set.core_name == module.name
+        assert test_set.patterns == 5
+        assert test_set.application_time == design.test_time
+        assert test_set.cycles_per_pattern == design.cycles_per_pattern
+        assert test_set.stimulus_bits == design.stimulus_bits_per_pattern * 5
+        assert test_set.response_bits == design.response_bits_per_pattern * 5
+        assert test_set.total_bits == test_set.stimulus_bits + test_set.response_bits
+
+    def test_flit_counts(self):
+        module = make_module(inputs=4, outputs=6, chain_lengths=(10, 10), patterns=5)
+        test_set = TestSet.from_wrapper(design_wrapper(module, width=4))
+        assert test_set.stimulus_flits(32) == -(-test_set.stimulus_bits // 32)
+        assert test_set.response_flits(32) == -(-test_set.response_bits // 32)
+
+    def test_flit_counts_reject_bad_width(self):
+        module = make_module()
+        test_set = TestSet.from_wrapper(design_wrapper(module, width=4))
+        with pytest.raises(ValueError):
+            test_set.stimulus_flits(0)

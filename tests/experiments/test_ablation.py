@@ -1,0 +1,61 @@
+"""Tests of the ablation drivers (on the small d695 systems for speed)."""
+
+import pytest
+
+from repro.experiments.ablation import (
+    run_external_interface_sweep,
+    run_pattern_penalty_sweep,
+    run_scheduler_comparison,
+)
+
+
+class TestSchedulerComparison:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_scheduler_comparison("d695_leon", processor_counts=(0, 2, 4))
+
+    def test_row_per_count(self, rows):
+        assert [row.reused_processors for row in rows] == [0, 2, 4]
+
+    def test_identical_without_processors(self, rows):
+        noproc = rows[0]
+        assert noproc.greedy_makespan == noproc.lookahead_makespan
+
+    def test_improvement_metric(self, rows):
+        for row in rows:
+            expected = 100.0 * (row.greedy_makespan - row.lookahead_makespan) / row.greedy_makespan
+            assert row.improvement_percent == pytest.approx(expected)
+
+
+class TestPatternPenaltySweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_pattern_penalty_sweep("d695_plasma", penalties=(0, 10, 40))
+
+    def test_baseline_independent_of_penalty(self, rows):
+        baselines = {row.baseline_makespan for row in rows}
+        assert len(baselines) == 1
+
+    def test_higher_penalty_never_improves_reuse(self, rows):
+        by_penalty = {row.cycles_per_pattern: row.reuse_makespan for row in rows}
+        assert by_penalty[0] <= by_penalty[40]
+
+    def test_reductions_positive(self, rows):
+        for row in rows:
+            assert row.reduction_percent > 0.0
+
+
+class TestExternalInterfaceSweep:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_external_interface_sweep("d695_leon", max_pairs=2)
+
+    def test_rows_per_pair_count(self, rows):
+        assert [row.external_pairs for row in rows] == [1, 2]
+
+    def test_more_tester_channels_help_the_baseline(self, rows):
+        assert rows[1].external_only_makespan <= rows[0].external_only_makespan
+
+    def test_processor_reuse_still_helps_with_extra_channels(self, rows):
+        for row in rows:
+            assert row.with_processors_makespan <= row.external_only_makespan

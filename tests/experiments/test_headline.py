@@ -1,0 +1,41 @@
+"""Tests of the headline-claims driver."""
+
+import pytest
+
+from repro.experiments.headline import run_headline_claims
+
+
+class TestHeadlineClaims:
+    @pytest.fixture(scope="class")
+    def claims(self):
+        return {claim.claim_id: claim for claim in run_headline_claims()}
+
+    def test_all_three_claims_present(self, claims):
+        assert set(claims) == {"T1", "T2", "T3"}
+
+    def test_paper_values_recorded(self, claims):
+        assert claims["T1"].paper_value == 28.0
+        assert claims["T2"].paper_value == 44.0
+        assert claims["T3"].paper_value == 37.0
+
+    def test_measured_reductions_positive(self, claims):
+        for claim in claims.values():
+            assert claim.measured_value > 0.0
+
+    def test_measured_reductions_in_ballpark(self, claims):
+        """The reproduction does not match the testbed exactly, but every
+        quoted reduction must be within 15 percentage points."""
+        for claim in claims.values():
+            assert claim.absolute_error <= 15.0, claim.row()
+
+    def test_larger_system_gains_at_least_as_much(self, claims):
+        # The paper's qualitative statement: bigger systems benefit more from
+        # (or at least as much as) processor reuse than d695... allow a small
+        # tolerance because the greedy scheduler is not monotone.
+        assert claims["T2"].measured_value >= claims["T1"].measured_value - 5.0
+
+    def test_row_rendering(self, claims):
+        text = claims["T1"].row()
+        assert "T1" in text
+        assert "paper" in text
+        assert "measured" in text

@@ -1,0 +1,78 @@
+"""Tests of the embedded benchmark library and bundled data files."""
+
+import pytest
+
+from repro.errors import UnknownBenchmarkError
+from repro.itc02.library import (
+    available_benchmarks,
+    data_directory,
+    export_benchmarks,
+    load_benchmark,
+)
+from repro.itc02.parser import parse_soc_file
+from repro.itc02.validate import validate_benchmark
+
+
+class TestLibrary:
+    def test_available_benchmarks_matches_paper(self):
+        assert available_benchmarks() == ("d695", "p22810", "p93791")
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(UnknownBenchmarkError, match="available benchmarks"):
+            load_benchmark("p12345")
+
+    def test_load_is_case_insensitive(self):
+        assert load_benchmark("D695") is load_benchmark("d695")
+
+    def test_load_is_cached(self):
+        assert load_benchmark("p22810") is load_benchmark("p22810")
+
+    @pytest.mark.parametrize("name", ["d695", "p22810", "p93791"])
+    def test_embedded_benchmarks_validate(self, name):
+        validate_benchmark(load_benchmark(name), require_power=True)
+
+    def test_d695_matches_published_structure(self):
+        d695 = load_benchmark("d695")
+        assert d695.module_count == 10
+        s38417 = d695.module_by_name("s38417")
+        assert s38417.patterns == 68
+        assert s38417.scan_chain_count == 32
+        assert s38417.scan_cells == 1636
+        s13207 = d695.module_by_name("s13207")
+        assert s13207.patterns == 234
+        c6288 = d695.module_by_name("c6288")
+        assert c6288.is_combinational
+
+    def test_module_counts_match_paper_totals(self):
+        # The paper builds systems with 16, 36 and 40 cores by adding 6/8/8
+        # processors, so the benchmarks must have 10, 28 and 32 modules.
+        assert load_benchmark("d695").module_count == 10
+        assert load_benchmark("p22810").module_count == 28
+        assert load_benchmark("p93791").module_count == 32
+
+    def test_large_benchmarks_dwarf_d695(self):
+        d695 = load_benchmark("d695").total_test_data_volume_bits
+        p22810 = load_benchmark("p22810").total_test_data_volume_bits
+        p93791 = load_benchmark("p93791").total_test_data_volume_bits
+        assert p22810 > 5 * d695
+        assert p93791 > p22810
+
+    def test_export_benchmarks(self, tmp_path):
+        written = export_benchmarks(tmp_path)
+        assert len(written) == 3
+        for path in written:
+            assert path.exists()
+            parsed = parse_soc_file(path)
+            assert parsed.module_count == load_benchmark(parsed.name).module_count
+
+
+class TestBundledDataFiles:
+    @pytest.mark.parametrize("name", ["d695", "p22810", "p93791"])
+    def test_bundled_soc_files_match_library(self, name):
+        path = data_directory() / f"{name}.soc"
+        assert path.exists(), "bundled .soc files should ship with the package"
+        parsed = parse_soc_file(path)
+        embedded = load_benchmark(name)
+        assert parsed.module_count == embedded.module_count
+        for a, b in zip(parsed.modules, embedded.modules):
+            assert a == b

@@ -1,0 +1,90 @@
+"""Tests of the synthetic benchmark generator."""
+
+import pytest
+
+from repro.cores.wrapper import design_wrapper
+from repro.errors import ConfigurationError
+from repro.itc02.synth import (
+    P22810_SPEC,
+    P93791_SPEC,
+    SyntheticSocSpec,
+    generate_benchmark,
+)
+from repro.itc02.validate import validate_benchmark
+
+
+def serial_test_time(benchmark, width):
+    """Sum of per-module wrapper test times over a width-bit TAM."""
+    return sum(design_wrapper(module, width).test_time for module in benchmark.modules)
+
+
+class TestSpecValidation:
+    def test_rejects_zero_modules(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticSocSpec(name="x", module_count=0, target_serial_test_time=100)
+
+    def test_rejects_dominant_fraction_sum_over_one(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticSocSpec(
+                name="x",
+                module_count=4,
+                target_serial_test_time=100,
+                dominant_fractions=(0.6, 0.5),
+            )
+
+    def test_rejects_more_dominants_than_modules(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticSocSpec(
+                name="x",
+                module_count=2,
+                target_serial_test_time=100,
+                dominant_fractions=(0.2, 0.2, 0.2),
+            )
+
+    def test_rejects_non_positive_target(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticSocSpec(name="x", module_count=2, target_serial_test_time=0)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        first = generate_benchmark(P22810_SPEC)
+        second = generate_benchmark(P22810_SPEC)
+        assert first.module_count == second.module_count
+        for a, b in zip(first.modules, second.modules):
+            assert a == b
+
+    def test_different_seeds_differ(self):
+        spec_a = SyntheticSocSpec(name="a", module_count=8, target_serial_test_time=50_000, seed=1)
+        spec_b = SyntheticSocSpec(name="a", module_count=8, target_serial_test_time=50_000, seed=2)
+        a = generate_benchmark(spec_a)
+        b = generate_benchmark(spec_b)
+        assert [m.patterns for m in a.modules] != [m.patterns for m in b.modules]
+
+    def test_module_count_respected(self):
+        spec = SyntheticSocSpec(name="x", module_count=13, target_serial_test_time=20_000)
+        assert generate_benchmark(spec).module_count == 13
+
+    def test_generated_benchmark_validates(self):
+        spec = SyntheticSocSpec(name="x", module_count=10, target_serial_test_time=20_000)
+        validate_benchmark(generate_benchmark(spec), require_power=True)
+
+    @pytest.mark.parametrize("spec", [P22810_SPEC, P93791_SPEC], ids=lambda s: s.name)
+    def test_calibration_hits_target_roughly(self, spec):
+        benchmark = generate_benchmark(spec)
+        measured = serial_test_time(benchmark, spec.calibration_width)
+        assert measured == pytest.approx(spec.target_serial_test_time, rel=0.25)
+
+    def test_dominant_modules_dominate(self):
+        benchmark = generate_benchmark(P93791_SPEC)
+        times = sorted(
+            (design_wrapper(m, 32).test_time for m in benchmark.modules), reverse=True
+        )
+        total = sum(times)
+        # The largest module should carry a substantial share of the total
+        # test time, mirroring the heavy-tailed structure of the original.
+        assert times[0] / total > 0.15
+
+    def test_power_attached_to_every_module(self):
+        benchmark = generate_benchmark(P22810_SPEC)
+        assert all(module.power > 0 for module in benchmark.modules)

@@ -1,0 +1,48 @@
+"""Tests of benchmark structural validation."""
+
+import pytest
+
+from repro.errors import BenchmarkValidationError
+from repro.itc02.model import Module, SocBenchmark
+from repro.itc02.validate import validate_benchmark
+
+from tests.conftest import make_benchmark, make_module
+
+
+class TestValidateBenchmark:
+    def test_valid_benchmark_passes(self):
+        validate_benchmark(make_benchmark())
+
+    def test_empty_benchmark_rejected(self):
+        with pytest.raises(BenchmarkValidationError, match="no modules"):
+            validate_benchmark(SocBenchmark(name="empty"))
+
+    def test_module_without_patterns_rejected(self):
+        benchmark = SocBenchmark(name="b")
+        benchmark.add_module(make_module("a", patterns=0))
+        with pytest.raises(BenchmarkValidationError, match="no test patterns"):
+            validate_benchmark(benchmark)
+
+    def test_module_without_terminals_rejected(self):
+        benchmark = SocBenchmark(name="b")
+        benchmark.add_module(
+            Module(number=1, name="void", inputs=0, outputs=0, patterns=5)
+        )
+        with pytest.raises(BenchmarkValidationError, match="no terminals"):
+            validate_benchmark(benchmark)
+
+    def test_power_required_when_requested(self):
+        benchmark = SocBenchmark(name="b")
+        benchmark.add_module(make_module("a", power=0.0))
+        validate_benchmark(benchmark)  # fine without the flag
+        with pytest.raises(BenchmarkValidationError, match="power"):
+            validate_benchmark(benchmark, require_power=True)
+
+    def test_duplicates_rejected_defensively(self):
+        # Bypass add_module's checks by mutating the list directly to make
+        # sure the validator catches corruption introduced elsewhere.
+        benchmark = SocBenchmark(name="b")
+        benchmark.add_module(make_module("a", number=1))
+        benchmark.modules.append(make_module("a", number=1))
+        with pytest.raises(BenchmarkValidationError, match="duplicate"):
+            validate_benchmark(benchmark)

@@ -1,0 +1,106 @@
+"""Writer tests, including a hypothesis round-trip property."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.itc02.library import available_benchmarks, load_benchmark
+from repro.itc02.model import Module, ScanChain, SocBenchmark
+from repro.itc02.parser import parse_soc
+from repro.itc02.writer import write_soc, write_soc_file
+
+
+def modules_strategy():
+    """Hypothesis strategy generating valid modules."""
+    chain = st.integers(min_value=1, max_value=200)
+    return st.builds(
+        lambda number, name, inputs, outputs, bidirs, chains, patterns, power: Module(
+            number=number,
+            name=name,
+            inputs=inputs,
+            outputs=outputs,
+            bidirs=bidirs,
+            scan_chains=tuple(ScanChain(index=i, length=l) for i, l in enumerate(chains)),
+            patterns=patterns,
+            power=power,
+        ),
+        number=st.integers(min_value=1, max_value=10_000),
+        name=st.text(
+            alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="_"),
+            min_size=1,
+            max_size=12,
+        ),
+        inputs=st.integers(min_value=0, max_value=500),
+        outputs=st.integers(min_value=0, max_value=500),
+        bidirs=st.integers(min_value=0, max_value=50),
+        chains=st.lists(chain, min_size=0, max_size=16),
+        patterns=st.integers(min_value=0, max_value=5000),
+        power=st.integers(min_value=0, max_value=5000).map(float),
+    )
+
+
+def benchmarks_strategy():
+    """Hypothesis strategy generating valid benchmarks with unique modules."""
+
+    def build(name, modules):
+        benchmark = SocBenchmark(name=name)
+        for index, module in enumerate(modules, start=1):
+            benchmark.add_module(
+                Module(
+                    number=index,
+                    name=f"{module.name}_{index}",
+                    inputs=module.inputs,
+                    outputs=module.outputs,
+                    bidirs=module.bidirs,
+                    scan_chains=module.scan_chains,
+                    patterns=module.patterns,
+                    power=module.power,
+                )
+            )
+        return benchmark
+
+    return st.builds(
+        build,
+        name=st.text(
+            alphabet=st.characters(whitelist_categories=("Ll", "Nd")),
+            min_size=1,
+            max_size=10,
+        ),
+        modules=st.lists(modules_strategy(), min_size=1, max_size=8),
+    )
+
+
+class TestWriter:
+    def test_writer_output_is_parseable(self, d695):
+        text = write_soc(d695)
+        parsed = parse_soc(text)
+        assert parsed.module_count == d695.module_count
+
+    def test_write_file(self, tmp_path, d695):
+        path = tmp_path / "d695.soc"
+        write_soc_file(d695, path)
+        assert path.exists()
+        assert "SocName d695" in path.read_text()
+
+    @pytest.mark.parametrize("name", ["d695", "p22810", "p93791"])
+    def test_embedded_benchmarks_roundtrip_exactly(self, name):
+        original = load_benchmark(name)
+        parsed = parse_soc(write_soc(original))
+        assert parsed.name == original.name
+        assert parsed.module_count == original.module_count
+        for before, after in zip(original.modules, parsed.modules):
+            assert before == after
+
+    @settings(max_examples=60, deadline=None)
+    @given(benchmark=benchmarks_strategy())
+    def test_roundtrip_property(self, benchmark):
+        parsed = parse_soc(write_soc(benchmark))
+        assert parsed.name == benchmark.name
+        assert parsed.module_count == benchmark.module_count
+        for before, after in zip(benchmark.modules, parsed.modules):
+            assert before.name == after.name
+            assert before.inputs == after.inputs
+            assert before.outputs == after.outputs
+            assert before.bidirs == after.bidirs
+            assert before.scan_chain_lengths == after.scan_chain_lengths
+            assert before.patterns == after.patterns
+            assert before.power == pytest.approx(after.power)

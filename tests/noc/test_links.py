@@ -1,0 +1,51 @@
+"""Tests of link identities and path resource expansion."""
+
+from repro.noc.links import local_port, path_links, path_resources
+
+
+class TestPathLinks:
+    def test_links_of_path(self):
+        assert path_links([(0, 0), (1, 0), (1, 1)]) == [((0, 0), (1, 0)), ((1, 0), (1, 1))]
+
+    def test_single_node_path_has_no_links(self):
+        assert path_links([(2, 2)]) == []
+
+    def test_empty_path(self):
+        assert path_links([]) == []
+
+    def test_links_are_directed(self):
+        forward = path_links([(0, 0), (1, 0)])
+        backward = path_links([(1, 0), (0, 0)])
+        assert forward != backward
+
+
+class TestLocalPort:
+    def test_local_port_identity(self):
+        assert local_port((2, 3)) == ((2, 3), (2, 3))
+
+    def test_local_ports_differ_per_node(self):
+        assert local_port((0, 0)) != local_port((0, 1))
+
+
+class TestPathResources:
+    def test_includes_endpoints_and_channels(self):
+        resources = path_resources([(0, 0), (1, 0), (1, 1)])
+        assert local_port((0, 0)) in resources
+        assert local_port((1, 1)) in resources
+        assert ((0, 0), (1, 0)) in resources
+        assert ((1, 0), (1, 1)) in resources
+        assert len(resources) == 4
+
+    def test_zero_hop_path_claims_single_port(self):
+        resources = path_resources([(2, 2)])
+        assert resources == [local_port((2, 2))]
+
+    def test_ports_can_be_excluded(self):
+        resources = path_resources(
+            [(0, 0), (1, 0)], include_source_port=False, include_destination_port=False
+        )
+        assert resources == [((0, 0), (1, 0))]
+
+    def test_no_duplicate_resources(self):
+        resources = path_resources([(0, 0), (1, 0)])
+        assert len(resources) == len(set(resources))

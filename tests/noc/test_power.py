@@ -1,0 +1,25 @@
+"""Tests of the NoC power model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noc.power import NocPowerModel
+
+
+class TestNocPowerModel:
+    def test_transfer_power_per_router(self):
+        model = NocPowerModel(mean_packet_power=15.0)
+        assert model.transfer_power(4) == pytest.approx(60.0)
+        assert model.transfer_power(0) == 0.0
+
+    def test_background_power(self):
+        model = NocPowerModel(mean_packet_power=10.0, idle_router_power=2.0)
+        assert model.background_power(25) == pytest.approx(50.0)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NocPowerModel(mean_packet_power=-1.0)
+        with pytest.raises(ConfigurationError):
+            NocPowerModel().transfer_power(-1)
+        with pytest.raises(ConfigurationError):
+            NocPowerModel().background_power(-1)

@@ -1,0 +1,74 @@
+"""Tests of the packet and timing models."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noc.packet import Packet
+from repro.noc.timing import NocTimingModel
+
+
+class TestPacket:
+    def test_flit_counts(self):
+        packet = Packet(payload_bits=65, flit_width=32, header_flits=2)
+        assert packet.payload_flits == 3
+        assert packet.total_flits == 5
+
+    def test_empty_payload(self):
+        packet = Packet(payload_bits=0, flit_width=32)
+        assert packet.payload_flits == 0
+        assert packet.total_flits == packet.header_flits
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            Packet(payload_bits=-1, flit_width=32)
+        with pytest.raises(ConfigurationError):
+            Packet(payload_bits=1, flit_width=0)
+
+
+class TestNocTimingModel:
+    def test_defaults_are_valid(self):
+        model = NocTimingModel()
+        assert model.flit_width == 32
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            NocTimingModel(flit_width=0)
+        with pytest.raises(ConfigurationError):
+            NocTimingModel(flow_control_latency=0)
+        with pytest.raises(ConfigurationError):
+            NocTimingModel(routing_latency=-1)
+
+    def test_path_setup_scales_with_hops(self):
+        model = NocTimingModel(routing_latency=5, flow_control_latency=1)
+        assert model.path_setup_cycles(0) == 0
+        assert model.path_setup_cycles(1) == 6
+        assert model.path_setup_cycles(4) == 24
+
+    def test_path_setup_rejects_negative_hops(self):
+        with pytest.raises(ConfigurationError):
+            NocTimingModel().path_setup_cycles(-1)
+
+    def test_packet_latency_monotone_in_hops_and_size(self):
+        model = NocTimingModel(routing_latency=3, flow_control_latency=1)
+        small_near = model.bits_packet_latency(32, hops=1)
+        small_far = model.bits_packet_latency(32, hops=5)
+        large_near = model.bits_packet_latency(512, hops=1)
+        assert small_far > small_near
+        assert large_near > small_near
+
+    def test_effective_cycles_per_pattern_wrapper_bound(self):
+        model = NocTimingModel(flow_control_latency=1)
+        # Wrapper needs 51 cycles/pattern; one flit/cycle keeps up, so the
+        # wrapper is the bottleneck and the ATE adds nothing.
+        assert model.effective_cycles_per_pattern(51, 50, 48, 0) == 51
+
+    def test_effective_cycles_per_pattern_transport_bound(self):
+        model = NocTimingModel(flow_control_latency=2)
+        # With two cycles per flit the stimulus channel becomes the bottleneck.
+        assert model.effective_cycles_per_pattern(51, 50, 48, 0) == 100
+
+    def test_effective_cycles_per_pattern_adds_source_overhead(self):
+        model = NocTimingModel(flow_control_latency=1)
+        external = model.effective_cycles_per_pattern(51, 50, 48, 0)
+        processor = model.effective_cycles_per_pattern(51, 50, 48, 10)
+        assert processor == external + 10

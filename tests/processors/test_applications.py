@@ -1,0 +1,52 @@
+"""Tests of the software test application models."""
+
+import pytest
+
+from repro.errors import CharacterizationError
+from repro.processors.applications import (
+    BistApplication,
+    DecompressionApplication,
+    TestApplication,
+)
+from repro.units import PROCESSOR_CYCLES_PER_PATTERN
+
+
+class TestBistApplication:
+    def test_default_matches_paper_assumption(self):
+        app = BistApplication()
+        assert app.cycles_per_pattern == PROCESSOR_CYCLES_PER_PATTERN == 10
+        assert app.name == "bist"
+        assert not app.stores_test_data
+
+    def test_memory_is_program_only(self):
+        app = BistApplication(program_memory_bytes=2048)
+        assert app.memory_for(10_000, 1_000) == 2048
+
+
+class TestDecompressionApplication:
+    def test_stores_test_data(self):
+        app = DecompressionApplication(compression_ratio=4.0)
+        assert app.stores_test_data
+        # 100 patterns x 800 bits compressed 4x = 20000 bits = 2500 bytes.
+        assert app.memory_for(100, 800) == app.program_memory_bytes + 2500
+
+    def test_faster_per_pattern_than_bist(self):
+        assert DecompressionApplication().cycles_per_pattern < BistApplication().cycles_per_pattern
+
+
+class TestValidation:
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(CharacterizationError):
+            TestApplication(name="x", cycles_per_pattern=-1, power=0.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(CharacterizationError):
+            TestApplication(name="x", cycles_per_pattern=1, power=-1.0)
+
+    def test_compression_below_one_rejected(self):
+        with pytest.raises(CharacterizationError):
+            TestApplication(name="x", cycles_per_pattern=1, power=0.0, compression_ratio=0.5)
+
+    def test_memory_for_rejects_negative_quantities(self):
+        with pytest.raises(CharacterizationError):
+            BistApplication().memory_for(-1, 10)

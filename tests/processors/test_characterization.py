@@ -1,0 +1,45 @@
+"""Tests of the processor characterisation step."""
+
+import pytest
+
+from repro.cores.wrapper import design_wrapper
+from repro.errors import CharacterizationError
+from repro.processors.applications import BistApplication
+from repro.processors.characterization import characterize
+from repro.processors.leon import leon_processor
+from repro.processors.plasma import plasma_processor
+
+
+class TestCharacterize:
+    def test_self_test_time_matches_wrapper(self):
+        leon = leon_processor()
+        characterization = characterize(leon, flit_width=32)
+        assert characterization.self_test_time == design_wrapper(leon.self_test, 32).test_time
+        assert characterization.self_test_patterns == leon.self_test.patterns
+        assert characterization.flit_width == 32
+
+    def test_pattern_penalty_and_power_carried_over(self):
+        plasma = plasma_processor()
+        characterization = characterize(plasma, flit_width=16)
+        assert characterization.cycles_per_generated_pattern == 10
+        assert characterization.source_power == plasma.application.power
+
+    def test_narrower_access_means_longer_self_test(self):
+        leon = leon_processor()
+        wide = characterize(leon, flit_width=32).self_test_time
+        narrow = characterize(leon, flit_width=8).self_test_time
+        assert narrow > wide
+
+    def test_application_must_fit_memory(self):
+        cramped = leon_processor(
+            application=BistApplication(program_memory_bytes=1 << 20),
+            memory_bytes=64 * 1024,
+        )
+        with pytest.raises(CharacterizationError, match="bytes are available"):
+            characterize(cramped, flit_width=32)
+
+    def test_summary_mentions_key_figures(self):
+        characterization = characterize(leon_processor(), flit_width=32)
+        text = characterization.summary()
+        assert "leon" in text
+        assert "cycles/pattern" in text

@@ -1,0 +1,47 @@
+"""Tests of the Leon and Plasma characterisations used in the paper."""
+
+import pytest
+
+from repro.cores.wrapper import design_wrapper
+from repro.processors.leon import leon_processor
+from repro.processors.model import ProcessorKind
+from repro.processors.plasma import plasma_processor
+
+
+class TestLeon:
+    def test_isa(self):
+        assert leon_processor().kind is ProcessorKind.SPARC_V8
+
+    def test_default_bist_penalty_matches_paper(self):
+        assert leon_processor().cycles_per_generated_pattern == 10
+
+    def test_self_test_is_substantial(self):
+        leon = leon_processor()
+        test_time = design_wrapper(leon.self_test, 32).test_time
+        # The Leon self-test must land in the ~20k-cycle range: this is what
+        # lines the reproduced "noproc" bars up with the paper's Figure 1.
+        assert 15_000 <= test_time <= 30_000
+
+    def test_instance_naming(self):
+        leon2 = leon_processor(name="leon2")
+        assert leon2.name == "leon2"
+        assert leon2.self_test.name == "leon2"
+
+
+class TestPlasma:
+    def test_isa(self):
+        assert plasma_processor().kind is ProcessorKind.MIPS_I
+
+    def test_smaller_than_leon(self):
+        leon = leon_processor()
+        plasma = plasma_processor()
+        leon_time = design_wrapper(leon.self_test, 32).test_time
+        plasma_time = design_wrapper(plasma.self_test, 32).test_time
+        assert plasma_time < leon_time
+        assert plasma.self_test.scan_cells < leon.self_test.scan_cells
+        assert plasma.self_test_power < leon.self_test_power
+
+    def test_overridable_parameters(self):
+        custom = plasma_processor(self_test_patterns=100, self_test_power=500.0)
+        assert custom.self_test.patterns == 100
+        assert custom.self_test.power == 500.0

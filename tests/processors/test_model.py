@@ -1,0 +1,62 @@
+"""Tests of the generic embedded processor model."""
+
+import pytest
+
+from repro.errors import CharacterizationError
+from repro.processors.applications import BistApplication, DecompressionApplication
+from repro.processors.leon import leon_self_test_module
+from repro.processors.model import EmbeddedProcessor, ProcessorKind
+
+
+def make_processor(**overrides):
+    defaults = dict(
+        name="cpu",
+        kind=ProcessorKind.GENERIC,
+        self_test=leon_self_test_module(name="cpu"),
+    )
+    defaults.update(overrides)
+    return EmbeddedProcessor(**defaults)
+
+
+class TestEmbeddedProcessor:
+    def test_defaults(self):
+        processor = make_processor()
+        assert processor.application.name == "bist"
+        assert processor.cycles_per_generated_pattern == 10
+        assert processor.self_test_power == processor.self_test.power
+
+    def test_clock_ratio_slows_pattern_generation(self):
+        processor = make_processor(clock_ratio=0.5)
+        assert processor.cycles_per_generated_pattern == 20
+
+    def test_clock_ratio_rounds_up(self):
+        processor = make_processor(clock_ratio=0.3)
+        # 10 / 0.3 = 33.33... -> 34 test-clock cycles.
+        assert processor.cycles_per_generated_pattern == 34
+
+    def test_with_application(self):
+        processor = make_processor()
+        decompressing = processor.with_application(DecompressionApplication())
+        assert decompressing.application.name == "decompression"
+        assert processor.application.name == "bist"
+        assert decompressing.name == processor.name
+
+    def test_with_name(self):
+        renamed = make_processor().with_name("cpu3")
+        assert renamed.name == "cpu3"
+
+    def test_can_test_respects_memory(self):
+        tight = make_processor(
+            memory_bytes=4096,
+            application=DecompressionApplication(program_memory_bytes=1024, compression_ratio=2.0),
+        )
+        assert tight.can_test(patterns=10, bits_per_pattern=100)
+        assert not tight.can_test(patterns=10_000, bits_per_pattern=1_000)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CharacterizationError):
+            make_processor(name="")
+        with pytest.raises(CharacterizationError):
+            make_processor(memory_bytes=0)
+        with pytest.raises(CharacterizationError):
+            make_processor(clock_ratio=0.0)

@@ -1,0 +1,40 @@
+"""Tests of the external-only (noproc) baseline."""
+
+import pytest
+
+from repro.schedule.baseline import external_only_schedule
+from repro.schedule.planner import TestPlanner
+from repro.schedule.result import validate_schedule
+
+
+class TestExternalOnlyBaseline:
+    def test_baseline_tests_every_core_including_processors(self, toy_system):
+        result = external_only_schedule(
+            system_name=toy_system.name,
+            cores=toy_system.cores,
+            interfaces=toy_system.interfaces(),
+            network=toy_system.network,
+        )
+        validate_schedule(result, expected_core_ids=toy_system.core_ids)
+        assert result.metadata["baseline"] == "external-only"
+
+    def test_baseline_uses_only_external_interfaces(self, toy_system):
+        result = external_only_schedule(
+            system_name=toy_system.name,
+            cores=toy_system.cores,
+            interfaces=toy_system.interfaces(),
+            network=toy_system.network,
+        )
+        used = {assignment.interface_id for assignment in result.assignments}
+        assert all(identifier.startswith("ext") for identifier in used)
+
+    def test_baseline_equals_planner_noproc(self, toy_system):
+        planner = TestPlanner(toy_system)
+        via_planner = planner.plan(reused_processors=0)
+        via_baseline = external_only_schedule(
+            system_name=toy_system.name,
+            cores=toy_system.cores,
+            interfaces=toy_system.interfaces(),
+            network=toy_system.network,
+        )
+        assert via_planner.makespan == via_baseline.makespan

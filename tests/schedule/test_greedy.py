@@ -1,0 +1,230 @@
+"""Tests of the greedy scheduler on small hand-checkable systems."""
+
+import pytest
+
+from repro.cores.core import build_core
+from repro.errors import PowerBudgetError, SchedulingError
+from repro.noc.network import Network, NocConfig
+from repro.schedule.greedy import GreedyScheduler
+from repro.schedule.job import build_job
+from repro.schedule.power import PowerConstraint
+from repro.schedule.result import validate_schedule
+from repro.tam.interfaces import InterfaceKind, TestInterface
+
+from tests.conftest import make_module
+
+
+def network(width=4, height=1, flit_width=16):
+    return Network(
+        NocConfig(
+            width=width,
+            height=height,
+            flit_width=flit_width,
+            routing_latency=2,
+            flow_control_latency=1,
+        )
+    )
+
+
+def external(identifier="ext0", source=(0, 0), sink=(0, 0)):
+    return TestInterface(
+        identifier=identifier, kind=InterfaceKind.EXTERNAL, source_node=source, sink_node=sink
+    )
+
+
+def processor_interface(identifier, node, core_id, cycles=10, power=100.0):
+    return TestInterface(
+        identifier=identifier,
+        kind=InterfaceKind.PROCESSOR,
+        source_node=node,
+        sink_node=node,
+        cycles_per_pattern=cycles,
+        active_power=power,
+        processor_core_id=core_id,
+    )
+
+
+def placed_core(name, node, *, patterns=10, power=100.0, is_processor=False):
+    core = build_core(
+        make_module(name, patterns=patterns, power=power, chain_lengths=(20, 20)),
+        flit_width=16,
+        is_processor=is_processor,
+        processor_name=name if is_processor else None,
+    )
+    core.place_at(node)
+    return core
+
+
+class TestGreedySchedulerBasics:
+    def test_single_core_single_interface(self):
+        net = network()
+        core = placed_core("only", (1, 0))
+        scheduler = GreedyScheduler()
+        result = scheduler.schedule(
+            system_name="single",
+            cores=[core],
+            interfaces=[external()],
+            network=net,
+        )
+        validate_schedule(result, expected_core_ids=["only"])
+        expected = build_job(core, external(), net).duration
+        assert result.makespan == expected
+        assert result.assignments[0].start == 0
+
+    def test_external_only_serialises(self):
+        net = network()
+        cores = [placed_core(f"c{i}", (i, 0)) for i in range(1, 4)]
+        result = GreedyScheduler().schedule(
+            system_name="serial", cores=cores, interfaces=[external()], network=net
+        )
+        validate_schedule(result, expected_core_ids=[c.identifier for c in cores])
+        total = sum(a.duration for a in result.assignments)
+        assert result.makespan == total
+        assert result.average_parallelism() == pytest.approx(1.0)
+
+    def test_priority_order_respected_with_single_interface(self):
+        net = network()
+        near = placed_core("near", (1, 0))
+        far = placed_core("far", (3, 0))
+        result = GreedyScheduler().schedule(
+            system_name="priority", cores=[far, near], interfaces=[external()], network=net
+        )
+        near_start = result.assignment_for("near").start
+        far_start = result.assignment_for("far").start
+        assert near_start < far_start
+
+    def test_processor_reuse_reduces_makespan(self):
+        net = network(width=4, height=4)
+        cpu = placed_core("cpu", (2, 2), patterns=20, is_processor=True)
+        cores = [placed_core(f"c{i}", (i % 4, 1 + i // 4), patterns=60) for i in range(6)]
+        interfaces_no_reuse = [external(sink=(3, 3))]
+        interfaces_reuse = [external(sink=(3, 3)), processor_interface("proc.cpu", (2, 2), "cpu")]
+
+        baseline = GreedyScheduler().schedule(
+            system_name="noproc",
+            cores=cores + [cpu],
+            interfaces=interfaces_no_reuse,
+            network=net,
+        )
+        reuse = GreedyScheduler().schedule(
+            system_name="reuse",
+            cores=cores + [cpu],
+            interfaces=interfaces_reuse,
+            network=net,
+        )
+        validate_schedule(reuse, expected_core_ids=[c.identifier for c in cores + [cpu]])
+        assert reuse.makespan < baseline.makespan
+
+    def test_processor_interface_only_used_after_processor_test(self):
+        net = network(width=4, height=4)
+        cpu = placed_core("cpu", (2, 2), patterns=30, is_processor=True)
+        cores = [placed_core(f"c{i}", (3, i)) for i in range(4)]
+        result = GreedyScheduler().schedule(
+            system_name="enable",
+            cores=cores + [cpu],
+            interfaces=[external(sink=(3, 3)), processor_interface("proc.cpu", (2, 2), "cpu")],
+            network=net,
+        )
+        validate_schedule(result)  # includes the enablement invariant
+        cpu_end = result.assignment_for("cpu").end
+        for assignment in result.assignments:
+            if assignment.interface_id == "proc.cpu":
+                assert assignment.start >= cpu_end
+
+    def test_power_limit_serialises_tests(self):
+        net = network(width=4, height=4)
+        cores = [placed_core(f"c{i}", (1 + i % 3, 1 + i // 3), power=400.0) for i in range(4)]
+        interfaces = [
+            external("ext0", (0, 0), (0, 0)),
+            external("ext1", (3, 3), (3, 3)),
+        ]
+        free = GreedyScheduler().schedule(
+            system_name="free", cores=cores, interfaces=interfaces, network=net
+        )
+        # A ceiling that admits only one test at a time (each job draws the
+        # core's 400 plus NoC power, so 999 cannot fit two).
+        constrained = GreedyScheduler().schedule(
+            system_name="capped",
+            cores=cores,
+            interfaces=interfaces,
+            network=net,
+            power_constraint=PowerConstraint(limit=999.0),
+        )
+        validate_schedule(constrained, expected_core_ids=[c.identifier for c in cores])
+        assert constrained.peak_power() <= 999.0
+        assert constrained.makespan >= free.makespan
+        assert constrained.average_parallelism() <= 1.01
+
+    def test_infeasible_power_limit_raises(self):
+        net = network()
+        core = placed_core("hot", (1, 0), power=5000.0)
+        with pytest.raises(PowerBudgetError):
+            GreedyScheduler().schedule(
+                system_name="hot",
+                cores=[core],
+                interfaces=[external()],
+                network=net,
+                power_constraint=PowerConstraint(limit=100.0),
+            )
+
+    def test_link_conflicts_prevent_overlap(self):
+        # Two cores on the same router share its local port, so they can
+        # never be tested concurrently even with two interfaces.
+        net = network(width=3, height=3)
+        core_a = placed_core("a", (1, 1))
+        core_b = placed_core("b", (1, 1))
+        interfaces = [
+            external("ext0", (0, 0), (0, 0)),
+            external("ext1", (2, 2), (2, 2)),
+        ]
+        result = GreedyScheduler().schedule(
+            system_name="conflict", cores=[core_a, core_b], interfaces=interfaces, network=net
+        )
+        validate_schedule(result, expected_core_ids=["a", "b"])
+        first, second = sorted(result.assignments, key=lambda a: a.start)
+        assert second.start >= first.end
+
+
+class TestGreedySchedulerValidation:
+    def test_no_cores_rejected(self):
+        with pytest.raises(SchedulingError):
+            GreedyScheduler().schedule(
+                system_name="empty", cores=[], interfaces=[external()], network=network()
+            )
+
+    def test_no_interfaces_rejected(self):
+        with pytest.raises(SchedulingError):
+            GreedyScheduler().schedule(
+                system_name="empty",
+                cores=[placed_core("c", (0, 0))],
+                interfaces=[],
+                network=network(),
+            )
+
+    def test_duplicate_core_ids_rejected(self):
+        cores = [placed_core("dup", (0, 0)), placed_core("dup", (1, 0))]
+        with pytest.raises(SchedulingError, match="unique"):
+            GreedyScheduler().schedule(
+                system_name="dup", cores=cores, interfaces=[external()], network=network()
+            )
+
+    def test_dangling_processor_interface_rejected(self):
+        with pytest.raises(SchedulingError, match="not among the cores"):
+            GreedyScheduler().schedule(
+                system_name="dangling",
+                cores=[placed_core("c", (0, 0))],
+                interfaces=[external(), processor_interface("proc.x", (1, 0), "ghost")],
+                network=network(),
+            )
+
+    def test_metadata_recorded(self):
+        result = GreedyScheduler().schedule(
+            system_name="meta",
+            cores=[placed_core("c", (1, 0))],
+            interfaces=[external()],
+            network=network(),
+            metadata={"label": "unit-test"},
+        )
+        assert result.metadata["label"] == "unit-test"
+        assert result.metadata["scheduler"] == "greedy-first-available"
+        assert result.scheduler_name == "greedy-first-available"

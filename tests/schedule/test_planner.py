@@ -1,0 +1,89 @@
+"""Tests of the top-level planner."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.schedule.planner import PlanRequest, TestPlanner
+from repro.schedule.result import validate_schedule
+from repro.schedule.variants import FastestCompletionScheduler
+
+
+class TestPlanRequest:
+    def test_defaults(self):
+        request = PlanRequest()
+        assert request.reused_processors is None
+        assert request.power_limit_fraction is None
+
+    def test_invalid_values(self):
+        with pytest.raises(ConfigurationError):
+            PlanRequest(reused_processors=-1)
+        with pytest.raises(ConfigurationError):
+            PlanRequest(power_limit_fraction=0.0)
+
+
+class TestTestPlanner:
+    def test_plan_all_processors_by_default(self, toy_system):
+        planner = TestPlanner(toy_system)
+        result = planner.plan()
+        validate_schedule(result, expected_core_ids=toy_system.core_ids)
+        assert result.metadata["reused_processors"] == len(toy_system.processor_cores)
+
+    def test_plan_noproc(self, toy_system):
+        planner = TestPlanner(toy_system)
+        result = planner.plan(reused_processors=0)
+        assert result.metadata["reused_processors"] == 0
+        used = {a.interface_id for a in result.assignments}
+        assert used == {"ext0"}
+
+    def test_reuse_never_slower_than_noproc(self, toy_system):
+        planner = TestPlanner(toy_system)
+        noproc = planner.plan(reused_processors=0)
+        reuse = planner.plan(reused_processors=2)
+        assert reuse.makespan <= noproc.makespan
+
+    def test_power_limit_fraction_recorded(self, toy_system):
+        planner = TestPlanner(toy_system)
+        # The toy system is tiny, so use a fraction that still admits its
+        # largest single test (the 50 % fraction of the paper is exercised on
+        # the paper-sized systems by the integration tests).
+        result = planner.plan(power_limit_fraction=0.75)
+        assert result.power_constraint.constrained
+        assert result.power_constraint.limit == pytest.approx(
+            toy_system.total_core_power * 0.75
+        )
+        assert result.metadata["power_limit_fraction"] == 0.75
+
+    def test_too_many_processors_rejected(self, toy_system):
+        planner = TestPlanner(toy_system)
+        with pytest.raises(ConfigurationError):
+            planner.plan(reused_processors=99)
+
+    def test_label_recorded(self, toy_system):
+        result = TestPlanner(toy_system).plan(label="my-config")
+        assert result.metadata["label"] == "my-config"
+
+    def test_custom_scheduler_used(self, toy_system):
+        planner = TestPlanner(toy_system, scheduler=FastestCompletionScheduler())
+        result = planner.plan()
+        assert result.scheduler_name == "fastest-completion"
+
+    def test_sweep_processor_counts(self, toy_system):
+        planner = TestPlanner(toy_system)
+        sweep = planner.sweep_processor_counts([0, 1, 2])
+        assert sorted(sweep) == [0, 1, 2]
+        assert sweep[0].metadata["label"] == "noproc"
+        assert sweep[2].metadata["label"] == "2proc"
+        # Makespans never increase when going from 0 to all processors... the
+        # greedy policy is not guaranteed monotone in between, but reuse of
+        # every processor must never be slower than no reuse at all for this
+        # tiny system.
+        assert sweep[2].makespan <= sweep[0].makespan
+
+    def test_deterministic(self, toy_system):
+        planner = TestPlanner(toy_system)
+        first = planner.plan(reused_processors=2)
+        second = planner.plan(reused_processors=2)
+        assert first.makespan == second.makespan
+        assert [a.core_id for a in first.assignments] == [
+            a.core_id for a in second.assignments
+        ]

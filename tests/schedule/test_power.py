@@ -1,0 +1,68 @@
+"""Tests of the power constraint and tracker."""
+
+import pytest
+
+from repro.errors import ConfigurationError, PowerBudgetError
+from repro.schedule.power import PowerConstraint, PowerTracker
+
+
+class TestPowerConstraint:
+    def test_unconstrained_allows_everything(self):
+        constraint = PowerConstraint.unconstrained()
+        assert not constraint.constrained
+        assert constraint.allows(1e12)
+
+    def test_fraction_of_total(self):
+        constraint = PowerConstraint.fraction_of_total(10_000.0, 0.5)
+        assert constraint.constrained
+        assert constraint.limit == pytest.approx(5_000.0)
+        assert "50%" in constraint.description
+        assert constraint.allows(5_000.0)
+        assert not constraint.allows(5_000.1)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PowerConstraint(limit=0.0)
+        with pytest.raises(ConfigurationError):
+            PowerConstraint.fraction_of_total(0.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            PowerConstraint.fraction_of_total(100.0, -0.1)
+
+
+class TestPowerTracker:
+    def test_tracks_active_power(self):
+        tracker = PowerTracker(PowerConstraint(limit=1000.0))
+        tracker.start("a", 400.0)
+        tracker.start("b", 500.0)
+        assert tracker.current_power == pytest.approx(900.0)
+        assert set(tracker.active_jobs) == {"a", "b"}
+        tracker.finish("a")
+        assert tracker.current_power == pytest.approx(500.0)
+
+    def test_can_start_respects_limit(self):
+        tracker = PowerTracker(PowerConstraint(limit=1000.0))
+        tracker.start("a", 700.0)
+        assert tracker.can_start("b", 300.0)
+        assert not tracker.can_start("c", 301.0)
+
+    def test_start_over_limit_raises(self):
+        tracker = PowerTracker(PowerConstraint(limit=100.0))
+        with pytest.raises(PowerBudgetError):
+            tracker.start("a", 150.0)
+
+    def test_duplicate_start_rejected(self):
+        tracker = PowerTracker(PowerConstraint.unconstrained())
+        tracker.start("a", 1.0)
+        with pytest.raises(ConfigurationError):
+            tracker.start("a", 1.0)
+
+    def test_finish_unknown_rejected(self):
+        tracker = PowerTracker(PowerConstraint.unconstrained())
+        with pytest.raises(ConfigurationError):
+            tracker.finish("ghost")
+
+    def test_check_feasible(self):
+        tracker = PowerTracker(PowerConstraint(limit=100.0))
+        tracker.check_feasible("ok", 80.0)
+        with pytest.raises(PowerBudgetError, match="exceeds the ceiling"):
+            tracker.check_feasible("huge", 200.0)

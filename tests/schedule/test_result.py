@@ -1,0 +1,211 @@
+"""Tests of the schedule result container and its invariant checker."""
+
+import pytest
+
+from repro.errors import ScheduleValidationError
+from repro.schedule.job import TestJob
+from repro.schedule.power import PowerConstraint
+from repro.schedule.result import Assignment, ScheduleResult, validate_schedule
+from repro.tam.interfaces import InterfaceKind, TestInterface
+
+PORT_A = ((0, 0), (0, 0))
+PORT_B = ((1, 1), (1, 1))
+LINK = ((0, 0), (1, 0))
+
+
+def job(core, interface, duration=100, power=10.0, resources=(PORT_A,)):
+    return TestJob(
+        core_id=core,
+        interface_id=interface,
+        duration=duration,
+        power=power,
+        resources=tuple(resources),
+        stimulus_hops=1,
+        response_hops=1,
+        setup_cycles=5,
+        patterns=3,
+        cycles_per_pattern=30,
+    )
+
+
+def external(identifier="ext0"):
+    return TestInterface(
+        identifier=identifier,
+        kind=InterfaceKind.EXTERNAL,
+        source_node=(0, 0),
+        sink_node=(1, 1),
+    )
+
+
+def processor(identifier="proc0", core_id="cpu"):
+    return TestInterface(
+        identifier=identifier,
+        kind=InterfaceKind.PROCESSOR,
+        source_node=(2, 2),
+        sink_node=(2, 2),
+        processor_core_id=core_id,
+    )
+
+
+def make_result(assignments, interfaces=None, constraint=None):
+    return ScheduleResult(
+        system_name="toy",
+        scheduler_name="manual",
+        assignments=assignments,
+        interfaces=interfaces or [external()],
+        power_constraint=constraint or PowerConstraint.unconstrained(),
+    )
+
+
+class TestScheduleResult:
+    def test_makespan_and_counts(self):
+        result = make_result(
+            [
+                Assignment(job("a", "ext0", duration=100), 0, 100),
+                Assignment(job("b", "ext0", duration=50), 100, 150),
+            ]
+        )
+        assert result.makespan == 150
+        assert result.test_count == 2
+        assert result.assignment_for("b").start == 100
+        with pytest.raises(KeyError):
+            result.assignment_for("ghost")
+
+    def test_empty_schedule(self):
+        result = make_result([])
+        assert result.makespan == 0
+        assert result.average_parallelism() == 0.0
+        assert result.peak_power() == 0.0
+
+    def test_power_profile_and_peak(self):
+        result = make_result(
+            [
+                Assignment(job("a", "ext0", duration=100, power=10.0), 0, 100),
+                Assignment(job("b", "proc0", duration=100, power=15.0, resources=(PORT_B,)), 50, 150),
+            ],
+            interfaces=[external(), processor()],
+        )
+        assert result.peak_power() == pytest.approx(25.0)
+        profile = dict(result.power_profile())
+        assert profile[0] == pytest.approx(10.0)
+        assert profile[50] == pytest.approx(25.0)
+        assert profile[100] == pytest.approx(15.0)
+        assert profile[150] == pytest.approx(0.0)
+
+    def test_average_parallelism(self):
+        result = make_result(
+            [
+                Assignment(job("a", "ext0", duration=100), 0, 100),
+                Assignment(job("b", "proc0", duration=100, resources=(PORT_B,)), 0, 100),
+            ],
+            interfaces=[external(), processor()],
+        )
+        assert result.average_parallelism() == pytest.approx(2.0)
+
+    def test_interface_busy_cycles(self):
+        result = make_result(
+            [
+                Assignment(job("a", "ext0", duration=100), 0, 100),
+                Assignment(job("b", "ext0", duration=40), 100, 140),
+            ]
+        )
+        assert result.interface_busy_cycles() == {"ext0": 140}
+
+
+class TestValidateSchedule:
+    def test_valid_schedule_passes(self):
+        result = make_result(
+            [
+                Assignment(job("a", "ext0"), 0, 100),
+                Assignment(job("b", "ext0"), 100, 200),
+            ]
+        )
+        validate_schedule(result, expected_core_ids=["a", "b"])
+
+    def test_missing_core_detected(self):
+        result = make_result([Assignment(job("a", "ext0"), 0, 100)])
+        with pytest.raises(ScheduleValidationError, match="never tested"):
+            validate_schedule(result, expected_core_ids=["a", "b"])
+
+    def test_unexpected_core_detected(self):
+        result = make_result(
+            [
+                Assignment(job("a", "ext0"), 0, 100),
+                Assignment(job("x", "ext0"), 100, 200),
+            ]
+        )
+        with pytest.raises(ScheduleValidationError, match="unexpected"):
+            validate_schedule(result, expected_core_ids=["a"])
+
+    def test_duplicate_core_detected(self):
+        result = make_result(
+            [
+                Assignment(job("a", "ext0"), 0, 100),
+                Assignment(job("a", "ext0"), 100, 200),
+            ]
+        )
+        with pytest.raises(ScheduleValidationError, match="more than once"):
+            validate_schedule(result)
+
+    def test_interface_overlap_detected(self):
+        result = make_result(
+            [
+                Assignment(job("a", "ext0", resources=(PORT_A,)), 0, 100),
+                Assignment(job("b", "ext0", resources=(PORT_B,)), 50, 150),
+            ]
+        )
+        with pytest.raises(ScheduleValidationError, match="at the same time"):
+            validate_schedule(result)
+
+    def test_resource_overlap_detected(self):
+        result = make_result(
+            [
+                Assignment(job("a", "ext0", resources=(LINK,)), 0, 100),
+                Assignment(job("b", "proc0", resources=(LINK,)), 50, 150),
+            ],
+            interfaces=[external(), processor()],
+        )
+        with pytest.raises(ScheduleValidationError, match="used simultaneously"):
+            validate_schedule(result)
+
+    def test_processor_used_before_tested_detected(self):
+        result = make_result(
+            [
+                Assignment(job("cpu", "ext0", resources=(PORT_A,)), 0, 100),
+                Assignment(job("b", "proc0", resources=(PORT_B,)), 50, 150),
+            ],
+            interfaces=[external(), processor(core_id="cpu")],
+        )
+        with pytest.raises(ScheduleValidationError, match="before its processor"):
+            validate_schedule(result)
+
+    def test_processor_never_tested_detected(self):
+        result = make_result(
+            [Assignment(job("b", "proc0", resources=(PORT_B,)), 0, 100)],
+            interfaces=[external(), processor(core_id="cpu")],
+        )
+        with pytest.raises(ScheduleValidationError, match="never tested"):
+            validate_schedule(result)
+
+    def test_power_violation_detected(self):
+        constraint = PowerConstraint(limit=20.0)
+        result = make_result(
+            [
+                Assignment(job("a", "ext0", power=15.0, resources=(PORT_A,)), 0, 100),
+                Assignment(job("b", "ext1", power=15.0, resources=(PORT_B,)), 50, 150),
+            ],
+            interfaces=[external(), external("ext1")],
+            constraint=constraint,
+        )
+        with pytest.raises(ScheduleValidationError, match="power"):
+            validate_schedule(result)
+
+    def test_inconsistent_times_detected(self):
+        result = make_result([Assignment(job("a", "ext0", duration=100), 0, 50)])
+        with pytest.raises(ScheduleValidationError, match="duration"):
+            validate_schedule(result)
+
+    def test_negative_start_detected(self):
+        result = make_result([Assignment(job("a", "ext0", duration=10), -5, 5)])
+        with pytest.raises(ScheduleValidationError, match="inconsistent"):
+            validate_schedule(result)

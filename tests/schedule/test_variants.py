@@ -1,0 +1,114 @@
+"""Tests of the fastest-completion (look-ahead) scheduler variant."""
+
+import pytest
+
+from repro.cores.core import build_core
+from repro.noc.network import Network, NocConfig
+from repro.schedule.greedy import GreedyScheduler
+from repro.schedule.result import validate_schedule
+from repro.schedule.variants import FastestCompletionScheduler
+from repro.tam.interfaces import InterfaceKind, TestInterface
+
+from tests.conftest import make_module
+
+
+def network():
+    return Network(NocConfig(width=4, height=4, flit_width=16, routing_latency=2))
+
+
+def external(identifier="ext0", source=(0, 0), sink=(0, 0)):
+    return TestInterface(
+        identifier=identifier, kind=InterfaceKind.EXTERNAL, source_node=source, sink_node=sink
+    )
+
+
+def processor_interface(identifier, node, core_id, cycles=10):
+    return TestInterface(
+        identifier=identifier,
+        kind=InterfaceKind.PROCESSOR,
+        source_node=node,
+        sink_node=node,
+        cycles_per_pattern=cycles,
+        active_power=100.0,
+        processor_core_id=core_id,
+    )
+
+
+def placed_core(name, node, *, patterns=10, is_processor=False):
+    core = build_core(
+        make_module(name, patterns=patterns, power=100.0, chain_lengths=(20, 20)),
+        flit_width=16,
+        is_processor=is_processor,
+        processor_name=name if is_processor else None,
+    )
+    core.place_at(node)
+    return core
+
+
+def build_case():
+    """A system where the greedy choice is provably suboptimal.
+
+    The processor (very slow per pattern) frees up slightly before the
+    external tester; greedy hands it the big core, the look-ahead scheduler
+    waits for the external tester instead.
+    """
+    net = network()
+    cpu = placed_core("cpu", (2, 2), patterns=10, is_processor=True)
+    small = placed_core("small", (1, 1), patterns=5)
+    big = placed_core("big", (3, 1), patterns=400)
+    filler = placed_core("filler", (1, 3), patterns=30)
+    cores = [cpu, small, big, filler]
+    interfaces = [
+        external("ext0", (0, 0), (0, 3)),
+        processor_interface("proc.cpu", (2, 2), "cpu", cycles=40),
+    ]
+    return net, cores, interfaces
+
+
+class TestFastestCompletionScheduler:
+    def test_produces_valid_schedules(self):
+        net, cores, interfaces = build_case()
+        result = FastestCompletionScheduler().schedule(
+            system_name="lookahead", cores=cores, interfaces=interfaces, network=net
+        )
+        validate_schedule(result, expected_core_ids=[c.identifier for c in cores])
+
+    def test_never_worse_on_contrived_case(self):
+        net, cores, interfaces = build_case()
+        greedy = GreedyScheduler().schedule(
+            system_name="greedy", cores=cores, interfaces=interfaces, network=net
+        )
+        lookahead = FastestCompletionScheduler().schedule(
+            system_name="lookahead", cores=cores, interfaces=interfaces, network=net
+        )
+        assert lookahead.makespan <= greedy.makespan
+
+    def test_big_core_prefers_external_interface(self):
+        net, cores, interfaces = build_case()
+        lookahead = FastestCompletionScheduler().schedule(
+            system_name="lookahead", cores=cores, interfaces=interfaces, network=net
+        )
+        # The very slow processor (40 cycles per pattern) should never be
+        # handed the 400-pattern core by the look-ahead policy.
+        assert lookahead.assignment_for("big").interface_id == "ext0"
+
+    def test_external_only_matches_greedy(self):
+        # With a single interface there is nothing to look ahead to: both
+        # policies must produce the same makespan.
+        net = network()
+        cores = [placed_core(f"c{i}", (1 + i % 3, 1 + i // 3)) for i in range(5)]
+        interface = [external()]
+        greedy = GreedyScheduler().schedule(
+            system_name="g", cores=cores, interfaces=interface, network=net
+        )
+        lookahead = FastestCompletionScheduler().schedule(
+            system_name="l", cores=cores, interfaces=interface, network=net
+        )
+        assert greedy.makespan == lookahead.makespan
+
+    def test_scheduler_name_recorded(self):
+        net, cores, interfaces = build_case()
+        result = FastestCompletionScheduler().schedule(
+            system_name="x", cores=cores, interfaces=interfaces, network=net
+        )
+        assert result.scheduler_name == "fastest-completion"

@@ -1,0 +1,94 @@
+"""Tests of the paper system presets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.processors.leon import leon_processor
+from repro.system.presets import (
+    PAPER_SYSTEMS,
+    build_paper_system,
+    processor_prototype,
+)
+
+
+class TestPaperSystemSpecs:
+    def test_all_six_systems_present(self):
+        assert set(PAPER_SYSTEMS) == {
+            "d695_leon",
+            "d695_plasma",
+            "p22810_leon",
+            "p22810_plasma",
+            "p93791_leon",
+            "p93791_plasma",
+        }
+
+    def test_total_core_counts_match_paper(self):
+        # Paper: "The total number of cores of the new systems is 16, 36, and
+        # 40, respectively."
+        expected = {"d695": 16, "p22810": 36, "p93791": 40}
+        for spec in PAPER_SYSTEMS.values():
+            benchmark_cores = {"d695": 10, "p22810": 28, "p93791": 32}[spec.benchmark]
+            assert benchmark_cores + spec.processor_count == expected[spec.benchmark]
+
+    def test_grid_sizes_match_paper(self):
+        # Paper: "The network dimensions for each system are, respectively,
+        # 4x4, 5x6 and 5x5."
+        dims = {
+            spec.benchmark: (spec.grid_width, spec.grid_height)
+            for spec in PAPER_SYSTEMS.values()
+        }
+        assert dims["d695"] == (4, 4)
+        assert dims["p22810"] == (5, 6)
+        assert dims["p93791"] == (5, 5)
+
+
+class TestBuildPaperSystem:
+    @pytest.mark.parametrize("name", sorted(PAPER_SYSTEMS))
+    def test_build_every_system(self, name):
+        system = build_paper_system(name)
+        spec = PAPER_SYSTEMS[name]
+        assert system.name == name
+        assert system.core_count == spec.processor_count + {
+            "d695": 10,
+            "p22810": 28,
+            "p93791": 32,
+        }[spec.benchmark]
+        assert len(system.processor_cores) == spec.processor_count
+        assert all(core.placed for core in system.cores)
+        assert all(core.power > 0 for core in system.cores)
+        assert len(system.io_ports) == 2
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ConfigurationError, match="known systems"):
+            build_paper_system("d695_arm")
+
+    def test_custom_flit_width(self):
+        narrow = build_paper_system("d695_leon", flit_width=16)
+        wide = build_paper_system("d695_leon", flit_width=32)
+        assert narrow.network.flit_width == 16
+        # A narrower access mechanism makes every core test longer.
+        assert (
+            narrow.core("d695.s38417").application_time
+            > wide.core("d695.s38417").application_time
+        )
+
+    def test_custom_port_positions(self):
+        system = build_paper_system(
+            "d695_leon", input_port_node=(1, 0), output_port_node=(2, 3)
+        )
+        assert system.io_ports[0].node == (1, 0)
+        assert system.io_ports[1].node == (2, 3)
+
+    def test_custom_processor(self):
+        fast_leon = leon_processor(self_test_patterns=50)
+        system = build_paper_system("d695_leon", processor=fast_leon)
+        assert all(core.patterns == 50 for core in system.processor_cores)
+
+    def test_processor_prototype_lookup(self):
+        assert processor_prototype("leon").name == "leon"
+        assert processor_prototype("PLASMA").name == "plasma"
+        with pytest.raises(ConfigurationError):
+            processor_prototype("arm")
+
+    def test_case_insensitive_name(self):
+        assert build_paper_system("D695_Leon").name == "d695_leon"

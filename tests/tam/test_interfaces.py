@@ -1,0 +1,82 @@
+"""Tests of test interface construction and validation."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.processors.characterization import characterize
+from repro.processors.plasma import plasma_processor
+from repro.tam.interfaces import (
+    InterfaceKind,
+    TestInterface,
+    external_interface,
+    processor_interface,
+)
+from repro.tam.ports import IoPort, PortDirection
+
+
+class TestExternalInterface:
+    def test_from_port_pair(self):
+        interface = external_interface(
+            "ext0",
+            IoPort("in0", (0, 0), PortDirection.INPUT, power=5.0),
+            IoPort("out0", (3, 3), PortDirection.OUTPUT, power=3.0),
+        )
+        assert interface.is_external
+        assert not interface.is_processor
+        assert not interface.requires_enablement
+        assert interface.source_node == (0, 0)
+        assert interface.sink_node == (3, 3)
+        assert interface.cycles_per_pattern == 0
+        assert interface.active_power == pytest.approx(8.0)
+
+    def test_external_must_not_reference_processor(self):
+        with pytest.raises(ResourceError):
+            TestInterface(
+                identifier="ext0",
+                kind=InterfaceKind.EXTERNAL,
+                source_node=(0, 0),
+                sink_node=(1, 1),
+                processor_core_id="leon1",
+            )
+
+
+class TestProcessorInterface:
+    def test_from_characterization(self):
+        plasma = plasma_processor(name="plasma1")
+        characterization = characterize(plasma, flit_width=32)
+        interface = processor_interface("proc.plasma1", characterization, (2, 1), "plasma1")
+        assert interface.is_processor
+        assert interface.requires_enablement
+        assert interface.source_node == interface.sink_node == (2, 1)
+        assert interface.cycles_per_pattern == 10
+        assert interface.processor_core_id == "plasma1"
+        assert interface.memory_bytes == plasma.memory_bytes
+
+    def test_processor_requires_core_reference(self):
+        with pytest.raises(ResourceError):
+            TestInterface(
+                identifier="p",
+                kind=InterfaceKind.PROCESSOR,
+                source_node=(0, 0),
+                sink_node=(0, 0),
+            )
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(ResourceError):
+            TestInterface(
+                identifier="p",
+                kind=InterfaceKind.PROCESSOR,
+                source_node=(0, 0),
+                sink_node=(0, 0),
+                cycles_per_pattern=-1,
+                processor_core_id="x",
+            )
+
+    def test_empty_identifier_rejected(self):
+        with pytest.raises(ResourceError):
+            TestInterface(
+                identifier="",
+                kind=InterfaceKind.EXTERNAL,
+                source_node=(0, 0),
+                sink_node=(0, 0),
+            )

@@ -1,0 +1,60 @@
+"""Tests of external I/O ports and interface pairing."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.tam.ports import IoPort, PortDirection, pair_external_interfaces
+
+
+def port(name, node, direction, power=0.0):
+    return IoPort(name=name, node=node, direction=direction, power=power)
+
+
+class TestIoPort:
+    def test_valid_port(self):
+        p = port("in0", (0, 0), PortDirection.INPUT)
+        assert p.direction is PortDirection.INPUT
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ResourceError):
+            port("", (0, 0), PortDirection.INPUT)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ResourceError):
+            port("in0", (0, 0), PortDirection.INPUT, power=-1.0)
+
+
+class TestPairing:
+    def test_one_pair(self):
+        ports = [
+            port("in0", (0, 0), PortDirection.INPUT),
+            port("out0", (3, 3), PortDirection.OUTPUT),
+        ]
+        pairs = pair_external_interfaces(ports)
+        assert len(pairs) == 1
+        assert pairs[0][0].name == "in0"
+        assert pairs[0][1].name == "out0"
+
+    def test_pairs_follow_declaration_order(self):
+        ports = [
+            port("in0", (0, 0), PortDirection.INPUT),
+            port("in1", (1, 0), PortDirection.INPUT),
+            port("out0", (3, 3), PortDirection.OUTPUT),
+            port("out1", (2, 3), PortDirection.OUTPUT),
+        ]
+        pairs = pair_external_interfaces(ports)
+        assert [(a.name, b.name) for a, b in pairs] == [("in0", "out0"), ("in1", "out1")]
+
+    def test_unbalanced_ports_drop_extras(self):
+        ports = [
+            port("in0", (0, 0), PortDirection.INPUT),
+            port("in1", (1, 0), PortDirection.INPUT),
+            port("out0", (3, 3), PortDirection.OUTPUT),
+        ]
+        assert len(pair_external_interfaces(ports)) == 1
+
+    def test_no_pair_raises(self):
+        with pytest.raises(ResourceError):
+            pair_external_interfaces([port("in0", (0, 0), PortDirection.INPUT)])
+        with pytest.raises(ResourceError):
+            pair_external_interfaces([])

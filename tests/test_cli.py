@@ -1,0 +1,82 @@
+"""Tests of the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_system_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["plan", "not_a_system"])
+
+
+class TestCommands:
+    def test_benchmarks_command(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert "d695" in out
+        assert "p93791" in out
+
+    def test_describe_command(self, capsys):
+        assert main(["describe", "d695_leon"]) == 0
+        out = capsys.readouterr().out
+        assert "d695_leon" in out
+        assert "leon1" in out
+        assert "4x4" in out
+
+    def test_plan_command(self, capsys):
+        assert main(["plan", "d695_leon", "--processors", "2", "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "Schedule for d695_leon" in out
+
+    def test_plan_command_json(self, capsys):
+        assert main(["plan", "d695_plasma", "--processors", "0", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert '"system": "d695_plasma"' in out
+
+    def test_plan_with_power_limit_and_lookahead(self, capsys):
+        assert (
+            main(["plan", "d695_leon", "--processors", "4", "--power-limit", "0.5", "--lookahead"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fastest-completion" in out
+
+    def test_figure1_single_system(self, capsys):
+        assert main(["figure1", "d695_plasma"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1 panel: d695_plasma" in out
+        assert "noproc" in out
+        assert "6proc" in out
+
+    def test_figure1_csv(self, capsys):
+        assert main(["figure1", "d695_plasma", "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "series,processors,makespan" in out
+
+    def test_headline_command(self, capsys):
+        assert main(["headline"]) == 0
+        out = capsys.readouterr().out
+        assert "T1" in out and "T2" in out and "T3" in out
+
+    def test_plan_with_bounds(self, capsys):
+        assert main(["plan", "d695_plasma", "--processors", "2", "--bounds"]) == 0
+        out = capsys.readouterr().out
+        assert "bound efficiency" in out
+
+    def test_characterize_command(self, capsys):
+        assert main(["characterize", "d695_leon", "--packets", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "40 packets" in out
+        assert "leon1:" in out
+
+    def test_export_soc_command(self, capsys, tmp_path):
+        assert main(["export-soc", str(tmp_path)]) == 0
+        assert (tmp_path / "d695.soc").exists()
+        assert (tmp_path / "p93791.soc").exists()

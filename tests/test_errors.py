@@ -1,0 +1,52 @@
+"""Tests of the exception hierarchy and public API surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        exception_types = [
+            errors.BenchmarkFormatError,
+            errors.BenchmarkValidationError,
+            errors.UnknownBenchmarkError,
+            errors.TopologyError,
+            errors.RoutingError,
+            errors.PlacementError,
+            errors.CharacterizationError,
+            errors.ResourceError,
+            errors.SchedulingError,
+            errors.PowerBudgetError,
+            errors.ScheduleValidationError,
+            errors.ConfigurationError,
+        ]
+        for exception_type in exception_types:
+            assert issubclass(exception_type, errors.ReproError)
+
+    def test_power_budget_error_is_a_scheduling_error(self):
+        assert issubclass(errors.PowerBudgetError, errors.SchedulingError)
+
+    def test_format_error_carries_line_number(self):
+        error = errors.BenchmarkFormatError("broken", line_number=12)
+        assert error.line_number == 12
+        assert "line 12" in str(error)
+
+    def test_format_error_without_line_number(self):
+        error = errors.BenchmarkFormatError("broken")
+        assert error.line_number is None
+
+
+class TestPublicApi:
+    def test_version_is_exposed(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_entry_points_importable(self):
+        assert callable(repro.build_paper_system)
+        assert callable(repro.load_benchmark)
+        assert callable(repro.TestPlanner)
