@@ -9,7 +9,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.ablation import (
     run_external_interface_sweep,

@@ -8,7 +8,6 @@ visible over time.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.cores.wrapper import design_wrapper
 from repro.itc02.library import load_benchmark

@@ -1,0 +1,59 @@
+"""Sweep-engine benchmark: the d695 Figure 1 grid through the runner.
+
+The smallest SoC grid (d695_leon, 4 reuse levels x 2 power series) is the
+CI smoke workload: it times the cached sweep engine end to end and asserts
+that the engine reproduces the legacy serial path exactly, so the timing
+JSON that CI uploads (``BENCH_*.json``) tracks the perf trajectory of the
+whole plan-and-schedule hot path.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure1 import figure1_spec, panel_from_outcomes
+from repro.runner.engine import SweepRunner
+from repro.runner.spec import SweepSpec
+
+from conftest import emit
+
+
+def _run_d695_grid():
+    spec = figure1_spec("d695_leon")
+    runner = SweepRunner(jobs=1)
+    outcomes = runner.run(spec)
+    return spec, runner, outcomes
+
+
+def test_sweep_engine_d695(benchmark):
+    spec, runner, outcomes = benchmark(_run_d695_grid)
+
+    panel = panel_from_outcomes(spec, outcomes)
+    lines = [
+        f"{label:<16} {panel.makespans(label)}" for label in panel.series
+    ]
+    emit("Sweep engine: d695_leon Figure 1 grid", "\n".join(lines))
+
+    assert len(outcomes) == spec.point_count == 8
+    # The build cache must collapse 8 points onto a single system build.
+    assert runner.system_cache.stats.misses == 1
+    assert panel.makespans("no power limit")[6] < panel.makespans("no power limit")[0]
+
+
+def test_sweep_engine_caches_across_specs(benchmark):
+    """Re-running related grids against a shared runner must be nearly free
+    of system builds (one per distinct SoC, not one per spec)."""
+
+    def run_twice():
+        runner = SweepRunner(jobs=1)
+        spec = SweepSpec(
+            name="bench-cache",
+            systems=("d695_leon",),
+            processor_counts=(0, 2, 4, 6),
+            power_limits={"no power limit": None},
+        )
+        first = runner.run(spec)
+        second = runner.run(spec)
+        return runner, first, second
+
+    runner, first, second = benchmark(run_twice)
+    assert runner.system_cache.stats.misses == 1
+    assert [o.makespan for o in first] == [o.makespan for o in second]

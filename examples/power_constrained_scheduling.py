@@ -14,7 +14,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import PowerConstraint, TestPlanner, build_paper_system
+from repro import TestPlanner, build_paper_system
 from repro.analysis.metrics import compute_metrics
 
 

@@ -53,6 +53,13 @@ from repro.schedule import (
     TestPlanner,
     validate_schedule,
 )
+from repro.runner import (
+    SweepOutcome,
+    SweepRunner,
+    SweepSpec,
+    load_sweeps,
+    save_sweeps,
+)
 from repro.system import (
     PAPER_SYSTEMS,
     SocSystem,
@@ -60,7 +67,7 @@ from repro.system import (
     build_paper_system,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # errors
@@ -96,6 +103,12 @@ __all__ = [
     "ScheduleResult",
     "TestPlanner",
     "validate_schedule",
+    # sweeps
+    "SweepSpec",
+    "SweepRunner",
+    "SweepOutcome",
+    "save_sweeps",
+    "load_sweeps",
     # systems
     "SocSystem",
     "SystemBuilder",

@@ -5,6 +5,8 @@
 * :mod:`repro.analysis.gantt` — ASCII Gantt chart of a schedule.
 * :mod:`repro.analysis.report` — plain-text tables for sweeps and schedules.
 * :mod:`repro.analysis.export` — CSV / JSON export of schedules and sweeps.
+* :mod:`repro.analysis.sweeps` — loading and rendering of stored sweep
+  results (the JSON documents the sweep engine writes).
 """
 
 from repro.analysis.metrics import (
@@ -22,6 +24,11 @@ from repro.analysis.bounds import (
 from repro.analysis.gantt import gantt_chart
 from repro.analysis.report import schedule_report, sweep_table
 from repro.analysis.export import schedule_to_rows, schedule_to_json, sweep_to_csv
+from repro.analysis.sweeps import (
+    load_sweep_records,
+    records_table,
+    stored_sweep_summary,
+)
 
 __all__ = [
     "MakespanBounds",
@@ -38,4 +45,7 @@ __all__ = [
     "schedule_to_rows",
     "schedule_to_json",
     "sweep_to_csv",
+    "load_sweep_records",
+    "records_table",
+    "stored_sweep_summary",
 ]

@@ -1,0 +1,81 @@
+"""Loading and rendering of stored sweep results.
+
+The sweep engine persists its results as schema-versioned JSON documents
+(:mod:`repro.runner.store`); this module loads them back and renders the
+paper-shaped tables — makespan per reuse level, one column pair per power
+series — without re-running any experiment.  ``repro sweep --load`` uses it
+to re-print a previous run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Sequence
+
+from repro.runner.store import StoredSweep, load_sweeps
+
+
+def load_sweep_records(path: str | Path) -> list[dict]:
+    """Every record of every sweep stored in ``path``, in point order."""
+    records: list[dict] = []
+    for sweep in load_sweeps(path):
+        records.extend(sweep.records)
+    return records
+
+
+def records_table(records: Sequence[Mapping], *, title: str = "Sweep results") -> str:
+    """Render flat sweep records as a plain-text table.
+
+    One row per record, ordered by point index, with the grid coordinates and
+    the headline metrics.  Works on the dictionaries produced by
+    :meth:`repro.runner.engine.SweepOutcome.record` and on records loaded
+    back from a result document.
+    """
+    if not records:
+        return f"{title}\n(no records)"
+    headers = [
+        "idx",
+        "system",
+        "scheduler",
+        "power series",
+        "reuse",
+        "flit",
+        "makespan",
+        "peak power",
+    ]
+    rows = []
+    for record in sorted(records, key=lambda r: r.get("index", 0)):
+        rows.append(
+            [
+                str(record.get("index", "-")),
+                str(record.get("system", "-")),
+                str(record.get("scheduler", "-")),
+                str(record.get("power_label", "-")),
+                str(record.get("label", record.get("reused_processors", "-"))),
+                str(record.get("flit_width", "-")),
+                str(record.get("makespan", "-")),
+                f"{record.get('peak_power', 0.0):.1f}",
+            ]
+        )
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rows)) for i in range(len(headers))
+    ]
+    lines = [
+        title,
+        "  ".join(header.ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def stored_sweep_summary(sweep: StoredSweep) -> str:
+    """One-line summary of a stored sweep (name, grid size, spec key)."""
+    return (
+        f"{sweep.spec.name}: {len(sweep.records)} records "
+        f"({len(sweep.spec.systems)} systems x "
+        f"{len(sweep.spec.processor_counts)} reuse levels x "
+        f"{len(sweep.spec.power_limits)} power series x "
+        f"{len(sweep.spec.schedulers)} schedulers), spec {sweep.spec_key[:12]}"
+    )

@@ -15,12 +15,18 @@ Installed as ``repro-noctest`` (see ``pyproject.toml``) and runnable as
 * ``figure1 [SYSTEM...]`` — regenerate the paper's Figure 1 panels as text
   tables (all six panels by default).
 * ``headline`` — recompute the paper's quoted reduction percentages.
+* ``sweep [SYSTEM...]`` — run an arbitrary experiment grid (reuse levels ×
+  power limits × schedulers) through the parallel sweep engine, with
+  build/characterisation caching (``--jobs``, ``--cache-dir``) and a
+  schema-versioned JSON result store (``--out``, re-printable via
+  ``--load``).
 * ``export-soc DIRECTORY`` — write the embedded benchmarks as ``.soc`` files.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -28,11 +34,20 @@ from repro.analysis.bounds import bound_report
 from repro.analysis.export import schedule_to_json, sweep_to_csv
 from repro.analysis.gantt import gantt_chart
 from repro.analysis.report import schedule_report, sweep_table
-from repro.errors import ReproError
-from repro.experiments.figure1 import run_panel
+from repro.analysis.sweeps import records_table, stored_sweep_summary
+from repro.errors import ConfigurationError, ReproError
+from repro.experiments.figure1 import (
+    PAPER_POWER_SERIES,
+    PAPER_PROCESSOR_COUNTS,
+    panel_from_outcomes,
+    run_panel,
+)
 from repro.experiments.headline import run_headline_claims
 from repro.itc02.library import available_benchmarks, export_benchmarks, load_benchmark
 from repro.noc.characterization import characterize_noc
+from repro.runner.engine import SweepRunner
+from repro.runner.spec import SCHEDULER_FACTORIES, SweepSpec, power_series_label
+from repro.runner.store import load_sweeps, save_sweeps
 from repro.schedule.planner import TestPlanner
 from repro.schedule.variants import FastestCompletionScheduler
 from repro.system.presets import PAPER_SYSTEMS, build_paper_system
@@ -107,6 +122,118 @@ def _cmd_headline(_: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_counts(text: str) -> tuple[int | None, ...]:
+    """Parse ``--counts`` values: comma-separated ints, ``all`` = every processor."""
+    counts: list[int | None] = []
+    for token in text.split(","):
+        token = token.strip().lower()
+        if not token:
+            continue
+        if token == "all":
+            counts.append(None)
+            continue
+        try:
+            counts.append(int(token))
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"invalid processor count {token!r} (expected an integer or 'all')"
+            ) from exc
+    if not counts:
+        raise ConfigurationError("--counts needs at least one value")
+    return tuple(counts)
+
+
+def _parse_power_limits(text: str) -> tuple[tuple[str, float | None], ...]:
+    """Parse ``--power-limits`` values: comma-separated fractions or ``none``."""
+    series: list[tuple[str, float | None]] = []
+    for token in text.split(","):
+        token = token.strip().lower()
+        if not token:
+            continue
+        fraction: float | None
+        if token in ("none", "off", "unlimited"):
+            fraction = None
+        else:
+            try:
+                fraction = float(token)
+            except ValueError as exc:
+                raise ConfigurationError(
+                    f"invalid power limit {token!r} (expected a fraction or 'none')"
+                ) from exc
+        series.append((power_series_label(fraction), fraction))
+    if not series:
+        raise ConfigurationError("--power-limits needs at least one value")
+    return tuple(series)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.load:
+        for sweep in load_sweeps(args.load):
+            print(stored_sweep_summary(sweep))
+            print(records_table(sweep.records, title=f"Sweep: {sweep.spec.name}"))
+            print()
+        return 0
+
+    systems = args.systems or sorted(PAPER_SYSTEMS)
+    schedulers = tuple(token.strip() for token in args.schedulers.split(",") if token.strip())
+    power_limits = (
+        _parse_power_limits(args.power_limits)
+        if args.power_limits
+        else tuple(PAPER_POWER_SERIES.items())
+    )
+
+    runner = SweepRunner(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        characterize=not args.no_characterize,
+        packet_count=args.packets,
+    )
+    entries = []
+    for name in systems:
+        if name.lower() not in PAPER_SYSTEMS:
+            raise ConfigurationError(
+                f"unknown paper system {name!r}; known systems: "
+                + ", ".join(sorted(PAPER_SYSTEMS))
+            )
+        benchmark = PAPER_SYSTEMS[name.lower()].benchmark
+        counts = (
+            _parse_counts(args.counts)
+            if args.counts
+            else PAPER_PROCESSOR_COUNTS[benchmark]
+        )
+        spec = SweepSpec(
+            name=f"sweep-{name.lower()}",
+            systems=(name,),
+            processor_counts=counts,
+            power_limits=power_limits,
+            schedulers=schedulers,
+            flit_widths=(args.flit_width,),
+        )
+        outcomes = runner.run(spec)
+        entries.append((spec, outcomes))
+        # The paper-shaped panel table needs integer counts and a single
+        # scheduler; 'all' (None) counts or scheduler mixes get the flat table.
+        if len(schedulers) == 1 and all(count is not None for count in counts):
+            panel = panel_from_outcomes(spec, outcomes)
+            print(sweep_table(panel.series, title=f"Sweep: {name}"))
+        else:
+            print(records_table([o.record() for o in outcomes], title=f"Sweep: {name}"))
+        print()
+
+    build_stats = runner.system_cache.stats
+    char_stats = runner.characterization_cache.stats
+    print(
+        f"cache: {build_stats.misses} system builds ({build_stats.hits} hits), "
+        f"{char_stats.misses} NoC characterisations ({char_stats.hits} hits) "
+        f"for {sum(spec.point_count for spec, _ in entries)} grid points "
+        f"on {runner.jobs} worker(s)"
+    )
+    if args.out:
+        written = save_sweeps(args.out, entries)
+        print(f"wrote {written}")
+    return 0
+
+
 def _cmd_export_soc(args: argparse.Namespace) -> int:
     written = export_benchmarks(args.directory)
     for path in written:
@@ -173,6 +300,73 @@ def build_parser() -> argparse.ArgumentParser:
     )
     headline.set_defaults(handler=_cmd_headline)
 
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run an experiment grid through the parallel sweep engine",
+        description="Run a (system x reuse level x power limit x scheduler) "
+        "grid through the caching sweep runner.  Without options this "
+        "reproduces the Figure 1 grids of the selected systems.",
+    )
+    sweep.add_argument(
+        "systems",
+        nargs="*",
+        metavar="SYSTEM",
+        help=f"systems to sweep (default: all of {', '.join(sorted(PAPER_SYSTEMS))})",
+    )
+    sweep.add_argument(
+        "--counts",
+        default=None,
+        help="comma-separated reused-processor counts, 'all' = every processor "
+        "(default: the paper's Figure 1 counts per system)",
+    )
+    sweep.add_argument(
+        "--power-limits",
+        default=None,
+        help="comma-separated power-limit fractions, 'none' = unconstrained "
+        "(default: 0.5,none — the paper's two series)",
+    )
+    sweep.add_argument(
+        "--schedulers",
+        default="greedy",
+        help="comma-separated scheduler policies: "
+        + ", ".join(sorted(SCHEDULER_FACTORIES)),
+    )
+    sweep.add_argument(
+        "--flit-width", type=int, default=32, help="NoC flit width (default: 32)"
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (0 = one per CPU; default: 1, serial)",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for persisted NoC-characterisation records",
+    )
+    sweep.add_argument(
+        "--out", default=None, help="write results as schema-versioned JSON to this file"
+    )
+    sweep.add_argument(
+        "--packets",
+        type=int,
+        default=200,
+        help="random packets for the NoC characterisation campaign",
+    )
+    sweep.add_argument(
+        "--no-characterize",
+        action="store_true",
+        help="skip the per-SoC NoC characterisation step",
+    )
+    sweep.add_argument(
+        "--load",
+        default=None,
+        metavar="FILE",
+        help="print a previously stored result document instead of running",
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
+
     characterize = subparsers.add_parser(
         "characterize",
         help="run the NoC and processor characterisation steps for a paper system",
@@ -201,6 +395,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # Output was piped into a consumer that exited early (e.g. `| head`);
+        # redirect stdout to devnull so the interpreter's final flush does
+        # not raise again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -13,7 +13,7 @@ know about one core:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional
 
 from repro.cores.testset import TestSet

@@ -64,3 +64,7 @@ class ScheduleValidationError(ReproError):
 
 class ConfigurationError(ReproError):
     """Raised for invalid user-facing configuration values."""
+
+
+class ResultStoreError(ReproError):
+    """Raised when a stored sweep-result document cannot be read."""

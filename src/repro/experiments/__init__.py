@@ -13,11 +13,17 @@ Every exhibit of the paper maps to one driver here (see DESIGN.md §3):
 The drivers are deterministic and reasonably fast (a full Figure 1 run takes a
 few seconds), so the benchmark harness under ``benchmarks/`` simply calls them
 and prints the resulting rows.
+
+Since the sweep-engine refactor every grid-shaped driver is a thin
+:class:`~repro.runner.spec.SweepSpec` definition executed by the shared
+:class:`~repro.runner.engine.SweepRunner` — pass a configured runner to any
+driver to share build/characterisation caches or to run on a process pool.
 """
 
 from repro.experiments.figure1 import (
     PAPER_PROCESSOR_COUNTS,
     Figure1Panel,
+    figure1_spec,
     run_figure1,
     run_panel,
 )
@@ -32,6 +38,7 @@ from repro.experiments.ablation import (
 __all__ = [
     "PAPER_PROCESSOR_COUNTS",
     "Figure1Panel",
+    "figure1_spec",
     "run_figure1",
     "run_panel",
     "HeadlineClaim",

@@ -16,19 +16,31 @@ Three studies:
   input/output pair.  :func:`run_external_interface_sweep` adds more ATE port
   pairs and quantifies how processor reuse compares with simply buying more
   tester channels (the cost the paper's approach avoids).
+
+The first two studies (and the flit-width sweep) are declarative
+:class:`~repro.runner.spec.SweepSpec` grids executed by the shared
+:class:`~repro.runner.engine.SweepRunner`; only the external-interface study
+builds custom systems and therefore keeps its own loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.processors.applications import BistApplication
-from repro.schedule.greedy import GreedyScheduler
+from repro.runner.engine import SweepOutcome, SweepRunner
+from repro.runner.spec import SweepSpec
 from repro.schedule.planner import TestPlanner
-from repro.schedule.variants import FastestCompletionScheduler
-from repro.system.presets import PAPER_SYSTEMS, build_paper_system, processor_prototype
+from repro.system.presets import PAPER_SYSTEMS, processor_prototype
 from repro.tam.ports import PortDirection
 from repro.units import reduction_percent
+
+
+def _makespans_by(outcomes: list[SweepOutcome], *axes: str) -> dict[tuple, int]:
+    """Index sweep outcomes by the given point fields → makespan."""
+    return {
+        tuple(getattr(outcome.point, axis) for axis in axes): outcome.makespan
+        for outcome in outcomes
+    }
 
 
 @dataclass(frozen=True)
@@ -51,29 +63,27 @@ def run_scheduler_comparison(
     *,
     processor_counts: tuple[int, ...] = (0, 2, 4, 6, 8),
     power_limit_fraction: float | None = None,
+    runner: SweepRunner | None = None,
 ) -> list[SchedulerComparisonRow]:
     """Compare the greedy policy with the fastest-completion policy."""
-    system = build_paper_system(system_name)
-    greedy_planner = TestPlanner(system, scheduler=GreedyScheduler())
-    lookahead_planner = TestPlanner(system, scheduler=FastestCompletionScheduler())
-
-    rows = []
-    for count in processor_counts:
-        greedy = greedy_planner.plan(
-            reused_processors=count, power_limit_fraction=power_limit_fraction
+    spec = SweepSpec(
+        name=f"ablation-scheduler-{system_name.lower()}",
+        systems=(system_name,),
+        processor_counts=processor_counts,
+        power_limits=(("series", power_limit_fraction),),
+        schedulers=("greedy", "fastest-completion"),
+    )
+    outcomes = (runner or SweepRunner()).run(spec)
+    makespans = _makespans_by(outcomes, "scheduler", "reused_processors")
+    return [
+        SchedulerComparisonRow(
+            system=system_name,
+            reused_processors=count,
+            greedy_makespan=makespans[("greedy", count)],
+            lookahead_makespan=makespans[("fastest-completion", count)],
         )
-        lookahead = lookahead_planner.plan(
-            reused_processors=count, power_limit_fraction=power_limit_fraction
-        )
-        rows.append(
-            SchedulerComparisonRow(
-                system=system_name,
-                reused_processors=count,
-                greedy_makespan=greedy.makespan,
-                lookahead_makespan=lookahead.makespan,
-            )
-        )
-    return rows
+        for count in processor_counts
+    ]
 
 
 @dataclass(frozen=True)
@@ -94,26 +104,25 @@ def run_pattern_penalty_sweep(
     system_name: str = "d695_leon",
     *,
     penalties: tuple[int, ...] = (0, 5, 10, 20, 40),
+    runner: SweepRunner | None = None,
 ) -> list[PenaltySweepRow]:
     """Sweep the per-pattern processor penalty (the paper fixes it to 10)."""
-    spec = PAPER_SYSTEMS[system_name.lower()]
-    rows = []
-    for penalty in penalties:
-        prototype = processor_prototype(spec.processor_model).with_application(
-            BistApplication(cycles_per_pattern=penalty)
+    spec = SweepSpec(
+        name=f"ablation-pattern-penalty-{system_name.lower()}",
+        systems=(system_name,),
+        processor_counts=(0, None),
+        pattern_penalties=penalties,
+    )
+    outcomes = (runner or SweepRunner()).run(spec)
+    makespans = _makespans_by(outcomes, "pattern_penalty", "reused_processors")
+    return [
+        PenaltySweepRow(
+            cycles_per_pattern=penalty,
+            baseline_makespan=makespans[(penalty, 0)],
+            reuse_makespan=makespans[(penalty, None)],
         )
-        system = build_paper_system(system_name, processor=prototype)
-        planner = TestPlanner(system)
-        baseline = planner.plan(reused_processors=0)
-        reuse = planner.plan(reused_processors=None)
-        rows.append(
-            PenaltySweepRow(
-                cycles_per_pattern=penalty,
-                baseline_makespan=baseline.makespan,
-                reuse_makespan=reuse.makespan,
-            )
-        )
-    return rows
+        for penalty in penalties
+    ]
 
 
 @dataclass(frozen=True)
@@ -134,6 +143,7 @@ def run_flit_width_sweep(
     system_name: str = "d695_leon",
     *,
     flit_widths: tuple[int, ...] = (8, 16, 32, 64),
+    runner: SweepRunner | None = None,
 ) -> list[FlitWidthRow]:
     """Sweep the NoC flit width (the paper does not publish its value).
 
@@ -142,20 +152,22 @@ def run_flit_width_sweep(
     reuse is largely insensitive to it, which is why reproducing the paper
     with a 32-bit default is legitimate.
     """
-    rows = []
-    for width in flit_widths:
-        system = build_paper_system(system_name, flit_width=width)
-        planner = TestPlanner(system)
-        baseline = planner.plan(reused_processors=0)
-        reuse = planner.plan(reused_processors=None)
-        rows.append(
-            FlitWidthRow(
-                flit_width=width,
-                baseline_makespan=baseline.makespan,
-                reuse_makespan=reuse.makespan,
-            )
+    spec = SweepSpec(
+        name=f"ablation-flit-width-{system_name.lower()}",
+        systems=(system_name,),
+        processor_counts=(0, None),
+        flit_widths=flit_widths,
+    )
+    outcomes = (runner or SweepRunner()).run(spec)
+    makespans = _makespans_by(outcomes, "flit_width", "reused_processors")
+    return [
+        FlitWidthRow(
+            flit_width=width,
+            baseline_makespan=makespans[(width, 0)],
+            reuse_makespan=makespans[(width, None)],
         )
-    return rows
+        for width in flit_widths
+    ]
 
 
 @dataclass(frozen=True)
@@ -178,8 +190,11 @@ def run_external_interface_sweep(
     the grid and the output ports along the top edge.  The "with processors"
     column additionally reuses every processor of the system, showing that
     reuse keeps helping even when more tester channels are available.
+
+    This study mutates the system topology itself (extra I/O ports), which
+    the declarative sweep grid deliberately does not model, so it plans its
+    systems directly.
     """
-    spec = PAPER_SYSTEMS[system_name.lower()]
     rows = []
     for pairs in range(1, max_pairs + 1):
         system = _build_with_port_pairs(system_name, pairs)

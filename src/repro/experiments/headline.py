@@ -9,9 +9,10 @@ Section 3 quotes three headline numbers:
 * T3 — "despite of this, imposing power constraints the test reduction
   reaches up to 37 %".
 
-:func:`run_headline_claims` recomputes each of them with the reproduced
-planner and reports paper-vs-measured side by side.  EXPERIMENTS.md records
-the outcome of a reference run.
+:func:`run_headline_claims` recomputes each of them by running the relevant
+Figure 1 panel specs through the shared sweep runner and reports
+paper-vs-measured side by side.  EXPERIMENTS.md records the outcome of a
+reference run.
 """
 
 from __future__ import annotations
@@ -19,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.experiments.figure1 import run_panel
+from repro.runner.engine import SweepRunner
 
 
 @dataclass(frozen=True)
@@ -55,10 +57,13 @@ class HeadlineClaim:
         )
 
 
-def run_headline_claims(*, flit_width: int = 32) -> list[HeadlineClaim]:
+def run_headline_claims(
+    *, flit_width: int = 32, runner: SweepRunner | None = None
+) -> list[HeadlineClaim]:
     """Recompute the paper's three quoted reductions with the reproduction."""
-    d695 = run_panel("d695_leon", flit_width=flit_width)
-    p93791 = run_panel("p93791_leon", flit_width=flit_width)
+    runner = runner or SweepRunner()
+    d695 = run_panel("d695_leon", flit_width=flit_width, runner=runner)
+    p93791 = run_panel("p93791_leon", flit_width=flit_width, runner=runner)
 
     return [
         HeadlineClaim(

@@ -21,7 +21,7 @@ experiment drivers and the regression tests both rely on stable numbers.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.itc02.model import Module, ScanChain, SocBenchmark

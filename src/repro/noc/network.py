@@ -9,7 +9,7 @@ lists, transfer times and transfer power.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.noc.links import Link, path_resources

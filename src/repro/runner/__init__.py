@@ -1,0 +1,76 @@
+"""Parallel experiment-sweep engine with result caching.
+
+The runner package is the orchestration layer above the planner: declare a
+grid with :class:`SweepSpec`, execute it with :class:`SweepRunner` (serially
+or on a process pool, always in deterministic point order), and persist the
+outcome as schema-versioned JSON with :func:`save_sweeps` /
+:func:`load_sweeps`.  The paper's experiment drivers
+(:mod:`repro.experiments`) and the ``repro sweep`` CLI are thin layers over
+this package.
+
+Quickstart::
+
+    from repro.runner import SweepRunner, SweepSpec
+
+    spec = SweepSpec(
+        name="d695-demo",
+        systems=("d695_leon",),
+        processor_counts=(0, 2, 4, 6),
+        power_limits={"no power limit": None, "50% power limit": 0.5},
+    )
+    outcomes = SweepRunner(jobs=4, characterize=True).run(spec)
+    for outcome in outcomes:
+        print(outcome.point.label, outcome.makespan)
+"""
+
+from repro.runner.cache import (
+    CacheStats,
+    CharacterizationCache,
+    SystemCache,
+    build_point_system,
+    content_key,
+)
+from repro.runner.engine import SweepOutcome, SweepRunner, execute_point
+from repro.runner.spec import (
+    SCHEDULER_FACTORIES,
+    SweepPoint,
+    SweepSpec,
+    canonical_scheduler_name,
+    make_scheduler,
+    power_series_label,
+    scheduler_spec_name,
+)
+from repro.runner.store import (
+    SCHEMA_VERSION,
+    StoredSweep,
+    dump_sweep,
+    dump_sweeps,
+    load_sweeps,
+    save_sweeps,
+    sweeps_document,
+)
+
+__all__ = [
+    "CacheStats",
+    "CharacterizationCache",
+    "SystemCache",
+    "build_point_system",
+    "content_key",
+    "SweepOutcome",
+    "SweepRunner",
+    "execute_point",
+    "SCHEDULER_FACTORIES",
+    "SweepPoint",
+    "SweepSpec",
+    "canonical_scheduler_name",
+    "make_scheduler",
+    "power_series_label",
+    "scheduler_spec_name",
+    "SCHEMA_VERSION",
+    "StoredSweep",
+    "dump_sweep",
+    "dump_sweeps",
+    "load_sweeps",
+    "save_sweeps",
+    "sweeps_document",
+]

@@ -1,0 +1,212 @@
+"""The sweep engine: executes a :class:`~repro.runner.spec.SweepSpec`.
+
+:class:`SweepRunner` expands a spec into its deterministic point sequence and
+plans every point, either serially or on a ``multiprocessing`` pool.  The
+output order is the spec's point order in both modes — the pool maps over the
+points with order-preserving ``map``, so a parallel run is byte-for-byte
+equivalent to a serial one (see ``tests/runner/test_engine.py``).
+
+System builds go through a :class:`~repro.runner.cache.SystemCache` — one
+build per SoC instead of one per point; parallel runs pre-build in the
+parent and hand workers the warm cache through the pool initializer — and
+each distinct NoC is characterised once through a
+:class:`~repro.runner.cache.CharacterizationCache`, optionally persisted
+under ``cache_dir``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.noc.characterization import NocCharacterization
+from repro.runner.cache import CharacterizationCache, SystemCache
+from repro.runner.spec import SweepPoint, SweepSpec, make_scheduler
+from repro.schedule.planner import TestPlanner
+from repro.schedule.result import ScheduleResult
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """The result of one executed sweep point.
+
+    Attributes:
+        point: the configuration that was planned.
+        result: the validated schedule the planner produced.
+        characterization: the NoC characterisation of the point's system
+            (``None`` when the runner ran with ``characterize=False``).
+    """
+
+    point: SweepPoint
+    result: ScheduleResult
+    characterization: NocCharacterization | None = None
+
+    @property
+    def makespan(self) -> int:
+        """Total test time of the point's schedule."""
+        return self.result.makespan
+
+    def record(self) -> dict[str, object]:
+        """Flat, JSON-ready record of this outcome (see the result store)."""
+        record: dict[str, object] = dict(self.point.to_dict())
+        record.update(
+            {
+                "label": self.point.label,
+                "scheduler_policy": self.result.scheduler_name,
+                "makespan": self.result.makespan,
+                "test_count": self.result.test_count,
+                "peak_power": round(self.result.peak_power(), 6),
+                "average_parallelism": round(self.result.average_parallelism(), 6),
+                "characterization": None,
+            }
+        )
+        if self.characterization is not None:
+            record["characterization"] = {
+                "packet_count": self.characterization.packet_count,
+                "mean_latency": round(self.characterization.mean_latency, 6),
+                "worst_latency": self.characterization.worst_latency,
+                "mean_hops": round(self.characterization.mean_hops, 6),
+                "mean_payload_flits": round(self.characterization.mean_payload_flits, 6),
+                "mean_packet_power": round(self.characterization.mean_packet_power, 6),
+                "simulated_span": self.characterization.simulated_span,
+            }
+        return record
+
+
+def execute_point(point: SweepPoint, system_cache: SystemCache) -> ScheduleResult:
+    """Plan one sweep point, building its system through ``system_cache``."""
+    system = system_cache.get(
+        point.system,
+        flit_width=point.flit_width,
+        pattern_penalty=point.pattern_penalty,
+    )
+    planner = TestPlanner(system, scheduler=make_scheduler(point.scheduler))
+    return planner.plan(
+        reused_processors=point.reused_processors,
+        power_limit_fraction=point.power_limit_fraction,
+        label=point.label,
+    )
+
+
+#: Per-process system cache used by pool workers.  The pool initializer
+#: replaces it with a copy of the parent runner's warm cache, so workers
+#: never rebuild a system the parent already built.
+_WORKER_SYSTEM_CACHE = SystemCache()
+
+
+def _init_worker(cache: SystemCache) -> None:
+    global _WORKER_SYSTEM_CACHE
+    _WORKER_SYSTEM_CACHE = cache
+
+
+def _pool_worker(point: SweepPoint) -> ScheduleResult:
+    return execute_point(point, _WORKER_SYSTEM_CACHE)
+
+
+class SweepRunner:
+    """Executes sweep specs with caching and optional parallelism.
+
+    Args:
+        jobs: worker processes; 1 (default) runs in-process, ``None`` or 0
+            uses one worker per CPU.
+        cache_dir: directory for persisted characterisation records
+            (``None`` keeps the characterisation cache in memory only).
+        characterize: characterise each distinct NoC once and attach the
+            result to the outcomes.
+        packet_count: size of the characterisation packet campaign.
+        system_cache: share a prebuilt :class:`SystemCache` across runners
+            (defaults to a fresh cache per runner).
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int | None = 1,
+        cache_dir: str | Path | None = None,
+        characterize: bool = False,
+        packet_count: int = 200,
+        system_cache: SystemCache | None = None,
+    ) -> None:
+        if jobs is None or jobs == 0:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ConfigurationError("jobs must be a positive worker count")
+        self.jobs = jobs
+        self.characterize = characterize
+        self.packet_count = packet_count
+        # Not `system_cache or ...`: an empty SystemCache is falsy (__len__).
+        self.system_cache = system_cache if system_cache is not None else SystemCache()
+        self.characterization_cache = CharacterizationCache(cache_dir)
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def run(self, spec: SweepSpec) -> list[SweepOutcome]:
+        """Execute every point of ``spec`` and return outcomes in point order."""
+        points = spec.points()
+        characterizations = self._characterize_systems(points)
+        if self.jobs == 1 or len(points) <= 1:
+            results = [execute_point(point, self.system_cache) for point in points]
+        else:
+            results = self._run_parallel(points)
+        return [
+            SweepOutcome(
+                point=point,
+                result=result,
+                characterization=characterizations.get(
+                    SystemCache.key(
+                        point.system,
+                        flit_width=point.flit_width,
+                        pattern_penalty=point.pattern_penalty,
+                    )
+                ),
+            )
+            for point, result in zip(points, results)
+        ]
+
+    def _run_parallel(self, points: Sequence[SweepPoint]) -> list[ScheduleResult]:
+        # Build every distinct system once in the parent so each worker
+        # starts from the warm cache (and the cache stats reflect one build
+        # per SoC, not one per worker).
+        for point in points:
+            self.system_cache.get(
+                point.system,
+                flit_width=point.flit_width,
+                pattern_penalty=point.pattern_penalty,
+            )
+        workers = min(self.jobs, len(points))
+        with multiprocessing.Pool(
+            processes=workers, initializer=_init_worker, initargs=(self.system_cache,)
+        ) as pool:
+            # Order-preserving map: results come back in point order no
+            # matter which worker finishes first.
+            return pool.map(_pool_worker, points, chunksize=1)
+
+    def _characterize_systems(
+        self, points: Sequence[SweepPoint]
+    ) -> dict[str, NocCharacterization]:
+        """Characterise each distinct system of the sweep exactly once."""
+        if not self.characterize:
+            return {}
+        characterizations: dict[str, NocCharacterization] = {}
+        for point in points:
+            key = SystemCache.key(
+                point.system,
+                flit_width=point.flit_width,
+                pattern_penalty=point.pattern_penalty,
+            )
+            if key in characterizations:
+                continue
+            system = self.system_cache.get(
+                point.system,
+                flit_width=point.flit_width,
+                pattern_penalty=point.pattern_penalty,
+            )
+            characterizations[key] = self.characterization_cache.get(
+                system.network, packet_count=self.packet_count
+            )
+        return characterizations

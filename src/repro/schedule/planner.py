@@ -18,7 +18,7 @@ Typical use::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.schedule.greedy import EventDrivenScheduler, GreedyScheduler

@@ -13,8 +13,6 @@ policies on p22810 reproduces (and explains) the irregular bars of Figure 1.
 
 from __future__ import annotations
 
-from typing import Sequence
-
 from repro.cores.core import CoreUnderTest
 from repro.schedule.greedy import EventDrivenScheduler
 from repro.schedule.job import TestJob

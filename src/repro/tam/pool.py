@@ -9,7 +9,7 @@ exact same bookkeeping and differ only in their selection policy.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.errors import ResourceError

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cores.core import build_core, build_cores
+from repro.cores.core import build_core
 from repro.itc02.library import load_benchmark
 from repro.itc02.model import Module, ScanChain, SocBenchmark
 from repro.noc.network import Network, NocConfig
@@ -30,7 +30,7 @@ def make_module(
     power: float = 100.0,
 ) -> Module:
     """Convenience constructor for a small test module."""
-    chains = tuple(ScanChain(index=i, length=l) for i, l in enumerate(chain_lengths))
+    chains = tuple(ScanChain(index=i, length=length) for i, length in enumerate(chain_lengths))
     return Module(
         number=number,
         name=name,

@@ -5,7 +5,7 @@ import pytest
 from repro.cores.core import CoreUnderTest, build_core, build_cores, total_power
 from repro.errors import ConfigurationError
 
-from tests.conftest import make_benchmark, make_module
+from tests.conftest import make_module
 
 
 class TestBuildCore:

@@ -84,7 +84,7 @@ def small_modules():
             inputs=inputs,
             outputs=outputs,
             bidirs=0,
-            scan_chains=tuple(ScanChain(index=i, length=l) for i, l in enumerate(chains)),
+            scan_chains=tuple(ScanChain(index=i, length=length) for i, length in enumerate(chains)),
             patterns=patterns,
         ),
         inputs=st.integers(min_value=0, max_value=300),

@@ -1,0 +1,1 @@
+"""Test package (keeps module basenames unique for pytest collection)."""

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.itc02.library import available_benchmarks, load_benchmark
+from repro.itc02.library import load_benchmark
 from repro.itc02.model import Module, ScanChain, SocBenchmark
 from repro.itc02.parser import parse_soc
 from repro.itc02.writer import write_soc, write_soc_file
@@ -19,7 +19,7 @@ def modules_strategy():
             inputs=inputs,
             outputs=outputs,
             bidirs=bidirs,
-            scan_chains=tuple(ScanChain(index=i, length=l) for i, l in enumerate(chains)),
+            scan_chains=tuple(ScanChain(index=i, length=length) for i, length in enumerate(chains)),
             patterns=patterns,
             power=power,
         ),

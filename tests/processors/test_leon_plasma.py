@@ -1,6 +1,5 @@
 """Tests of the Leon and Plasma characterisations used in the paper."""
 
-import pytest
 
 from repro.cores.wrapper import design_wrapper
 from repro.processors.leon import leon_processor

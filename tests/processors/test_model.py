@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import CharacterizationError
-from repro.processors.applications import BistApplication, DecompressionApplication
+from repro.processors.applications import DecompressionApplication
 from repro.processors.leon import leon_self_test_module
 from repro.processors.model import EmbeddedProcessor, ProcessorKind
 

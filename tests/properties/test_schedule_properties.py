@@ -7,14 +7,10 @@ processor never loses against no reuse, and that the makespan equals the
 critical assignment end.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
-from repro.cores.core import build_core
 from repro.itc02.model import Module, ScanChain
-from repro.noc.network import Network, NocConfig
-from repro.schedule.greedy import GreedyScheduler
-from repro.schedule.power import PowerConstraint
+from repro.noc.network import NocConfig
 from repro.schedule.result import validate_schedule
 from repro.schedule.variants import FastestCompletionScheduler
 from repro.system.builder import SystemBuilder
@@ -45,7 +41,7 @@ def random_system(draw):
                 inputs=draw(st.integers(min_value=1, max_value=40)),
                 outputs=draw(st.integers(min_value=1, max_value=40)),
                 bidirs=0,
-                scan_chains=tuple(ScanChain(index=i, length=l) for i, l in enumerate(chains)),
+                scan_chains=tuple(ScanChain(index=i, length=length) for i, length in enumerate(chains)),
                 patterns=draw(st.integers(min_value=1, max_value=40)),
                 power=float(draw(st.integers(min_value=10, max_value=400))),
             )

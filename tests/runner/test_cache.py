@@ -1,0 +1,122 @@
+"""Tests of the content-keyed system and characterisation caches."""
+
+import json
+
+import pytest
+
+import repro.runner.cache as cache_module
+from repro.runner.cache import (
+    CharacterizationCache,
+    SystemCache,
+    build_point_system,
+    content_key,
+)
+
+
+class TestContentKey:
+    def test_stable_across_calls(self):
+        payload = {"a": 1, "b": [1, 2, 3]}
+        assert content_key(payload) == content_key(payload)
+
+    def test_key_order_insensitive(self):
+        assert content_key({"a": 1, "b": 2}) == content_key({"b": 2, "a": 1})
+
+    def test_differs_on_content(self):
+        assert content_key({"a": 1}) != content_key({"a": 2})
+
+
+class TestBuildPointSystem:
+    def test_builds_paper_system(self):
+        system = build_point_system("d695_leon", flit_width=16)
+        assert system.name == "d695_leon"
+        assert system.network.flit_width == 16
+
+    def test_pattern_penalty_changes_characterization(self):
+        default = build_point_system("d695_leon")
+        penalised = build_point_system("d695_leon", pattern_penalty=40)
+        default_char = default.processor_characterizations["leon1"]
+        penalised_char = penalised.processor_characterizations["leon1"]
+        assert penalised_char != default_char
+
+
+class TestSystemCache:
+    def test_miss_then_hit(self):
+        cache = SystemCache()
+        first = cache.get("d695_leon")
+        assert cache.stats.misses == 1 and cache.stats.hits == 0
+        second = cache.get("d695_leon")
+        assert second is first
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_different_parameters_are_different_entries(self):
+        cache = SystemCache()
+        cache.get("d695_leon")
+        cache.get("d695_leon", flit_width=16)
+        cache.get("d695_leon", pattern_penalty=5)
+        assert len(cache) == 3
+        assert cache.stats.misses == 3
+
+    def test_clear_drops_entries(self):
+        cache = SystemCache()
+        first = cache.get("d695_leon")
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("d695_leon") is not first
+
+
+@pytest.fixture
+def small_network():
+    from repro.noc.network import Network, NocConfig
+
+    return Network(NocConfig(width=3, height=3, flit_width=16))
+
+
+class TestCharacterizationCache:
+    def test_memory_hit(self, small_network):
+        cache = CharacterizationCache()
+        first = cache.get(small_network, packet_count=20)
+        second = cache.get(small_network, packet_count=20)
+        assert second is first
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+
+    def test_different_campaigns_are_different_entries(self, small_network):
+        cache = CharacterizationCache()
+        cache.get(small_network, packet_count=20)
+        cache.get(small_network, packet_count=30)
+        assert cache.stats.misses == 2
+
+    def test_disk_persistence(self, small_network, tmp_path, monkeypatch):
+        cache = CharacterizationCache(tmp_path)
+        computed = cache.get(small_network, packet_count=20)
+        assert list(tmp_path.glob("noc-characterization-*.json"))
+
+        # A fresh cache over the same directory must load from disk without
+        # recomputing the campaign.
+        def boom(*args, **kwargs):
+            raise AssertionError("characterize_noc must not be called on a disk hit")
+
+        monkeypatch.setattr(cache_module, "characterize_noc", boom)
+        reloaded_cache = CharacterizationCache(tmp_path)
+        reloaded = reloaded_cache.get(small_network, packet_count=20)
+        assert reloaded == computed
+        assert reloaded_cache.stats.hits == 1 and reloaded_cache.stats.misses == 0
+
+    def test_corrupt_record_recomputed(self, small_network, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        cache.get(small_network, packet_count=20)
+        (record,) = tmp_path.glob("noc-characterization-*.json")
+        record.write_text("not json", encoding="utf-8")
+        fresh = CharacterizationCache(tmp_path)
+        fresh.get(small_network, packet_count=20)
+        assert fresh.stats.misses == 1
+
+    def test_schema_version_checked(self, small_network, tmp_path):
+        cache = CharacterizationCache(tmp_path)
+        cache.get(small_network, packet_count=20)
+        (record,) = tmp_path.glob("noc-characterization-*.json")
+        document = json.loads(record.read_text(encoding="utf-8"))
+        document["schema_version"] = 999
+        record.write_text(json.dumps(document), encoding="utf-8")
+        fresh = CharacterizationCache(tmp_path)
+        fresh.get(small_network, packet_count=20)
+        assert fresh.stats.misses == 1

@@ -1,0 +1,137 @@
+"""Tests of the sweep engine: determinism, caching, parallel equivalence."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner.engine import SweepRunner
+from repro.runner.spec import SweepSpec
+from repro.runner.store import dump_sweep
+from repro.schedule.planner import TestPlanner
+from repro.schedule.result import validate_schedule
+from repro.system.presets import build_paper_system
+
+
+@pytest.fixture(scope="module")
+def d695_spec():
+    return SweepSpec(
+        name="d695-grid",
+        systems=("d695_leon",),
+        processor_counts=(0, 2, 4),
+        power_limits={"no power limit": None, "50% power limit": 0.5},
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_outcomes(d695_spec):
+    return SweepRunner(jobs=1).run(d695_spec)
+
+
+class TestSerialExecution:
+    def test_outcomes_in_point_order(self, d695_spec, serial_outcomes):
+        assert [o.point for o in serial_outcomes] == list(d695_spec.points())
+
+    def test_schedules_valid(self, serial_outcomes):
+        for outcome in serial_outcomes:
+            validate_schedule(outcome.result)
+
+    def test_matches_direct_planner_path(self, serial_outcomes):
+        """The engine must reproduce the legacy serial loop exactly."""
+        planner = TestPlanner(build_paper_system("d695_leon"))
+        for outcome in serial_outcomes:
+            direct = planner.plan(
+                reused_processors=outcome.point.reused_processors,
+                power_limit_fraction=outcome.point.power_limit_fraction,
+            )
+            assert outcome.makespan == direct.makespan
+            assert [
+                (a.core_id, a.start, a.interface_id)
+                for a in outcome.result.assignments
+            ] == [(a.core_id, a.start, a.interface_id) for a in direct.assignments]
+
+    def test_system_built_once_per_soc(self, d695_spec):
+        runner = SweepRunner(jobs=1)
+        runner.run(d695_spec)
+        assert runner.system_cache.stats.misses == 1
+        assert runner.system_cache.stats.hits == d695_spec.point_count - 1
+
+
+class TestDeterminism:
+    def test_same_spec_gives_byte_identical_store_json(self, d695_spec):
+        first = dump_sweep(d695_spec, SweepRunner(jobs=1).run(d695_spec))
+        second = dump_sweep(d695_spec, SweepRunner(jobs=1).run(d695_spec))
+        assert first == second
+
+    def test_characterized_run_is_deterministic(self, d695_spec, tmp_path):
+        first = dump_sweep(
+            d695_spec,
+            SweepRunner(jobs=1, characterize=True, packet_count=40).run(d695_spec),
+        )
+        second = dump_sweep(
+            d695_spec,
+            SweepRunner(
+                jobs=1, characterize=True, packet_count=40, cache_dir=tmp_path
+            ).run(d695_spec),
+        )
+        assert first == second
+
+
+class TestParallelExecution:
+    def test_parallel_equals_serial(self, d695_spec, serial_outcomes):
+        parallel = SweepRunner(jobs=2).run(d695_spec)
+        assert [o.point for o in parallel] == [o.point for o in serial_outcomes]
+        for par, ser in zip(parallel, serial_outcomes):
+            assert par.makespan == ser.makespan
+            assert [
+                (a.core_id, a.start, a.interface_id) for a in par.result.assignments
+            ] == [(a.core_id, a.start, a.interface_id) for a in ser.result.assignments]
+
+    def test_parallel_store_json_identical(self, d695_spec, serial_outcomes):
+        parallel = SweepRunner(jobs=2).run(d695_spec)
+        assert dump_sweep(d695_spec, parallel) == dump_sweep(
+            d695_spec, serial_outcomes
+        )
+
+    def test_parallel_builds_once_per_soc_in_parent(self, d695_spec):
+        """The parent pre-builds and seeds the workers, so the cache stats
+        reflect one build per SoC even on the pool path."""
+        runner = SweepRunner(jobs=2)
+        runner.run(d695_spec)
+        assert runner.system_cache.stats.misses == 1
+
+
+class TestCharacterization:
+    def test_disabled_by_default(self, serial_outcomes):
+        assert all(o.characterization is None for o in serial_outcomes)
+
+    def test_one_characterization_per_soc(self, d695_spec):
+        runner = SweepRunner(jobs=1, characterize=True, packet_count=40)
+        outcomes = runner.run(d695_spec)
+        assert runner.characterization_cache.stats.misses == 1
+        characterizations = {id(o.characterization) for o in outcomes}
+        assert len(characterizations) == 1
+        assert outcomes[0].characterization.packet_count == 40
+
+    def test_record_shape(self, d695_spec):
+        runner = SweepRunner(jobs=1, characterize=True, packet_count=40)
+        record = runner.run(d695_spec)[0].record()
+        assert record["system"] == "d695_leon"
+        assert record["makespan"] > 0
+        assert record["scheduler_policy"] == "greedy-first-available"
+        assert record["characterization"]["packet_count"] == 40
+
+
+class TestRunnerConfiguration:
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigurationError, match="jobs"):
+            SweepRunner(jobs=-2)
+
+    def test_jobs_zero_means_cpu_count(self):
+        assert SweepRunner(jobs=0).jobs >= 1
+
+    def test_shared_system_cache(self, d695_spec):
+        from repro.runner.cache import SystemCache
+
+        shared = SystemCache()
+        SweepRunner(jobs=1, system_cache=shared).run(d695_spec)
+        SweepRunner(jobs=1, system_cache=shared).run(d695_spec)
+        assert shared.stats.misses == 1

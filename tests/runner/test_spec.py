@@ -1,0 +1,133 @@
+"""Tests of the declarative sweep specification."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runner.spec import (
+    SweepSpec,
+    canonical_scheduler_name,
+    make_scheduler,
+    power_series_label,
+    scheduler_spec_name,
+)
+from repro.schedule.greedy import GreedyScheduler
+from repro.schedule.variants import FastestCompletionScheduler
+
+
+def small_spec(**overrides):
+    parameters = dict(
+        name="test",
+        systems=("d695_leon",),
+        processor_counts=(0, 2),
+        power_limits={"no power limit": None, "50% power limit": 0.5},
+    )
+    parameters.update(overrides)
+    return SweepSpec(**parameters)
+
+
+class TestSchedulerRegistry:
+    def test_canonical_names(self):
+        assert canonical_scheduler_name("greedy") == "greedy"
+        assert canonical_scheduler_name("greedy-first-available") == "greedy"
+        assert canonical_scheduler_name("lookahead") == "fastest-completion"
+        assert canonical_scheduler_name("Fastest-Completion") == "fastest-completion"
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown scheduler"):
+            canonical_scheduler_name("simulated-annealing")
+
+    def test_make_scheduler(self):
+        assert isinstance(make_scheduler("greedy"), GreedyScheduler)
+        assert isinstance(make_scheduler("lookahead"), FastestCompletionScheduler)
+
+    def test_scheduler_spec_name(self):
+        assert scheduler_spec_name(None) == "greedy"
+        assert scheduler_spec_name(GreedyScheduler()) == "greedy"
+        assert scheduler_spec_name(FastestCompletionScheduler()) == "fastest-completion"
+
+    def test_scheduler_with_custom_priority_rejected(self):
+        """Instance state a spec cannot record must fail loudly, not be
+        silently replaced by the default policy."""
+
+        def custom_priority(cores, interfaces, network):
+            raise NotImplementedError
+
+        with pytest.raises(ConfigurationError, match="priority factory"):
+            scheduler_spec_name(GreedyScheduler(priority_factory=custom_priority))
+
+
+class TestPowerSeriesLabel:
+    def test_paper_labels(self):
+        assert power_series_label(None) == "no power limit"
+        assert power_series_label(0.5) == "50% power limit"
+        assert power_series_label(0.75) == "75% power limit"
+
+
+class TestPointExpansion:
+    def test_point_count_and_order(self):
+        spec = small_spec()
+        points = spec.points()
+        assert len(points) == spec.point_count == 4
+        assert [point.index for point in points] == [0, 1, 2, 3]
+        # Innermost axis (processor count) varies fastest.
+        assert [(p.power_label, p.reused_processors) for p in points] == [
+            ("no power limit", 0),
+            ("no power limit", 2),
+            ("50% power limit", 0),
+            ("50% power limit", 2),
+        ]
+
+    def test_expansion_is_deterministic(self):
+        assert small_spec().points() == small_spec().points()
+
+    def test_point_labels(self):
+        spec = small_spec(processor_counts=(0, 4, None))
+        labels = [point.label for point in spec.points()[:3]]
+        assert labels == ["noproc", "4proc", "allproc"]
+
+    def test_scheduler_axis(self):
+        spec = small_spec(schedulers=("greedy", "lookahead"), processor_counts=(0,))
+        schedulers = {point.scheduler for point in spec.points()}
+        assert schedulers == {"greedy", "fastest-completion"}
+
+
+class TestValidation:
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown paper system"):
+            small_spec(systems=("d695_arm",))
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_spec(systems=())
+        with pytest.raises(ConfigurationError):
+            small_spec(processor_counts=())
+        with pytest.raises(ConfigurationError):
+            small_spec(power_limits=())
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            small_spec(processor_counts=(-1,))
+
+    def test_non_positive_power_fraction_rejected(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            small_spec(power_limits={"zero": 0.0})
+
+    def test_non_positive_flit_width_rejected(self):
+        with pytest.raises(ConfigurationError, match="flit widths"):
+            small_spec(flit_widths=(0,))
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        spec = small_spec(schedulers=("greedy", "fastest-completion"))
+        assert SweepSpec.from_dict(spec.to_dict()) == spec
+
+    def test_content_key_stable(self):
+        assert small_spec().content_key() == small_spec().content_key()
+
+    def test_content_key_differs_on_change(self):
+        assert small_spec().content_key() != small_spec(flit_widths=(16,)).content_key()
+
+    def test_from_dict_missing_field(self):
+        with pytest.raises(ConfigurationError, match="missing field"):
+            SweepSpec.from_dict({"systems": ["d695_leon"]})

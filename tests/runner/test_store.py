@@ -1,0 +1,95 @@
+"""Tests of the schema-versioned sweep result store."""
+
+import json
+
+import pytest
+
+from repro.errors import ResultStoreError
+from repro.runner.engine import SweepRunner
+from repro.runner.spec import SweepSpec
+from repro.runner.store import (
+    SCHEMA_VERSION,
+    dump_sweeps,
+    load_sweeps,
+    save_sweeps,
+)
+
+
+@pytest.fixture(scope="module")
+def executed():
+    spec = SweepSpec(
+        name="store-test",
+        systems=("d695_plasma",),
+        processor_counts=(0, 6),
+        power_limits={"no power limit": None},
+    )
+    outcomes = SweepRunner(jobs=1).run(spec)
+    return spec, outcomes
+
+
+class TestRoundtrip:
+    def test_save_and_load(self, executed, tmp_path):
+        spec, outcomes = executed
+        path = save_sweeps(tmp_path / "results.json", [(spec, outcomes)])
+        (stored,) = load_sweeps(path)
+        assert stored.spec == spec
+        assert stored.spec_key == spec.content_key()
+        assert len(stored.records) == len(outcomes)
+        for record, outcome in zip(stored.records, outcomes):
+            assert record["makespan"] == outcome.makespan
+            assert record["index"] == outcome.point.index
+
+    def test_document_shape(self, executed):
+        spec, outcomes = executed
+        document = json.loads(dump_sweeps([(spec, outcomes)]))
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert len(document["sweeps"]) == 1
+
+    def test_records_sorted_by_index(self, executed):
+        spec, outcomes = executed
+        document = json.loads(dump_sweeps([(spec, list(reversed(outcomes)))]))
+        indices = [record["index"] for record in document["sweeps"][0]["records"]]
+        assert indices == sorted(indices)
+
+
+class TestLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ResultStoreError, match="cannot read"):
+            load_sweeps(tmp_path / "absent.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{", encoding="utf-8")
+        with pytest.raises(ResultStoreError, match="not valid JSON"):
+            load_sweeps(path)
+
+    def test_wrong_schema_version(self, executed, tmp_path):
+        spec, outcomes = executed
+        path = save_sweeps(tmp_path / "results.json", [(spec, outcomes)])
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["schema_version"] = SCHEMA_VERSION + 1
+        path.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(ResultStoreError, match="schema version"):
+            load_sweeps(path)
+
+    def test_malformed_entry(self, tmp_path):
+        path = tmp_path / "results.json"
+        path.write_text(
+            json.dumps({"schema_version": SCHEMA_VERSION, "sweeps": [{"spec": {}}]}),
+            encoding="utf-8",
+        )
+        with pytest.raises(ResultStoreError, match="malformed|missing"):
+            load_sweeps(path)
+
+
+class TestAnalysisLoader:
+    def test_load_sweep_records(self, executed, tmp_path):
+        from repro.analysis.sweeps import load_sweep_records, records_table
+
+        spec, outcomes = executed
+        path = save_sweeps(tmp_path / "results.json", [(spec, outcomes)])
+        records = load_sweep_records(path)
+        assert len(records) == len(outcomes)
+        table = records_table(records)
+        assert "d695_plasma" in table
+        assert "noproc" in table

@@ -1,6 +1,5 @@
 """Tests of the external-only (noproc) baseline."""
 
-import pytest
 
 from repro.schedule.baseline import external_only_schedule
 from repro.schedule.planner import TestPlanner

@@ -1,6 +1,5 @@
 """Tests of the fastest-completion (look-ahead) scheduler variant."""
 
-import pytest
 
 from repro.cores.core import build_core
 from repro.noc.network import Network, NocConfig

@@ -8,7 +8,6 @@ from repro.processors.plasma import plasma_processor
 from repro.system.builder import SystemBuilder
 from repro.tam.ports import PortDirection
 
-from tests.conftest import make_benchmark
 
 
 def builder(name="sys", width=3, height=3, flit_width=16):

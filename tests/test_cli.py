@@ -80,3 +80,122 @@ class TestCommands:
         assert main(["export-soc", str(tmp_path)]) == 0
         assert (tmp_path / "d695.soc").exists()
         assert (tmp_path / "p93791.soc").exists()
+
+
+class TestSweepCommand:
+    def test_sweep_matches_figure1(self, capsys, tmp_path):
+        """`repro sweep` on the parallel runner with the characterisation
+        cache must reproduce the Figure 1 panel for d695 exactly."""
+        from repro.experiments.figure1 import run_panel
+
+        out_file = tmp_path / "results.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "d695_leon",
+                    "--jobs",
+                    "2",
+                    "--packets",
+                    "40",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                    "--out",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Sweep: d695_leon" in out
+        assert "NoC characterisations" in out
+        assert out_file.exists()
+
+        panel = run_panel("d695_leon")
+        from repro.runner.store import load_sweeps
+
+        (stored,) = load_sweeps(out_file)
+        makespans = {
+            (record["power_label"], record["reused_processors"]): record["makespan"]
+            for record in stored.records
+        }
+        for label in ("no power limit", "50% power limit"):
+            for count, expected in panel.makespans(label).items():
+                assert makespans[(label, count)] == expected
+
+    def test_sweep_custom_grid(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "d695_plasma",
+                    "--counts",
+                    "0,all",
+                    "--power-limits",
+                    "none",
+                    "--schedulers",
+                    "greedy,fastest-completion",
+                    "--no-characterize",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "allproc" in out
+        assert "fastest-completion" in out
+
+    def test_sweep_load_roundtrip(self, capsys, tmp_path):
+        out_file = tmp_path / "results.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "d695_leon",
+                    "--counts",
+                    "0",
+                    "--power-limits",
+                    "none",
+                    "--no-characterize",
+                    "--out",
+                    str(out_file),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["sweep", "--load", str(out_file)]) == 0
+        out = capsys.readouterr().out
+        assert "sweep-d695_leon" in out
+        assert "163785" in out
+
+    def test_sweep_all_counts_single_scheduler(self, capsys):
+        """'all' (None) counts cannot be rendered as a Figure 1 panel table;
+        the command must fall back to the flat table instead of crashing."""
+        assert (
+            main(
+                [
+                    "sweep",
+                    "d695_leon",
+                    "--counts",
+                    "0,all",
+                    "--power-limits",
+                    "none",
+                    "--no-characterize",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "allproc" in out
+
+    def test_sweep_rejects_unknown_system(self, capsys):
+        assert main(["sweep", "d695_arm"]) == 1
+        assert "unknown paper system" in capsys.readouterr().err
+
+    def test_sweep_rejects_bad_counts(self, capsys):
+        assert main(["sweep", "d695_leon", "--counts", "two"]) == 1
+        assert "invalid processor count" in capsys.readouterr().err
+
+    def test_sweep_rejects_bad_power_limit(self, capsys):
+        assert main(["sweep", "d695_leon", "--power-limits", "half"]) == 1
+        assert "invalid power limit" in capsys.readouterr().err

@@ -1,6 +1,5 @@
 """Tests of the exception hierarchy and public API surface."""
 
-import pytest
 
 import repro
 from repro import errors
