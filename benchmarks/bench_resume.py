@@ -1,0 +1,60 @@
+"""Resume benchmark: cold sqlite-backed sweep vs warm incremental re-run.
+
+Times the d695 Figure 1 grid through ``SweepRunner.run_stored`` twice: cold
+(a fresh sqlite store, every point executed) and warm (the store already
+holds the full grid, ``resume`` skips every point).  The gap between the two
+is what an interrupted or extended sweep saves by resuming instead of
+recomputing, and the warm figure bounds the store's own query overhead.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+
+from repro.experiments.figure1 import figure1_spec
+from repro.runner.db import SweepDatabase
+from repro.runner.engine import SweepRunner
+
+from conftest import emit
+
+
+def test_resume_cold_store(benchmark, tmp_path):
+    """Full store-backed run into a fresh sqlite store (nothing to skip)."""
+    spec = figure1_spec("d695_leon")
+    fresh = count()
+
+    def run_cold():
+        with SweepDatabase(tmp_path / f"cold-{next(fresh)}.db") as db:
+            return SweepRunner(jobs=1).run_stored(spec, db, resume=True)
+
+    report = benchmark(run_cold)
+    emit(
+        "Resume benchmark: cold store",
+        f"executed {report.executed_count}, skipped {report.skipped_count} "
+        f"of {spec.point_count} points",
+    )
+    assert report.executed_count == spec.point_count
+    assert report.skipped_count == 0
+
+
+def test_resume_warm_store(benchmark, tmp_path):
+    """Resumed re-run over a fully populated store: zero points executed."""
+    spec = figure1_spec("d695_leon")
+    path = tmp_path / "warm.db"
+    with SweepDatabase(path) as db:
+        baseline = SweepRunner(jobs=1).run_stored(spec, db, resume=True)
+
+    def run_warm():
+        with SweepDatabase(path) as db:
+            return SweepRunner(jobs=1).run_stored(spec, db, resume=True)
+
+    report = benchmark(run_warm)
+    emit(
+        "Resume benchmark: warm store",
+        f"executed {report.executed_count}, skipped {report.skipped_count} "
+        f"of {spec.point_count} points",
+    )
+    assert report.executed_count == 0
+    assert report.skipped_count == spec.point_count
+    # Resumed records must equal the cold run's, byte for byte.
+    assert report.records == baseline.records

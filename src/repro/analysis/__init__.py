@@ -7,6 +7,8 @@
 * :mod:`repro.analysis.export` — CSV / JSON export of schedules and sweeps.
 * :mod:`repro.analysis.sweeps` — loading and rendering of stored sweep
   results (the JSON documents the sweep engine writes).
+* :mod:`repro.analysis.history` — cross-run queries over a sqlite sweep
+  store (scheduler win-rates, makespan over time).
 """
 
 from repro.analysis.metrics import (
@@ -29,6 +31,15 @@ from repro.analysis.sweeps import (
     records_table,
     stored_sweep_summary,
 )
+from repro.analysis.history import (
+    TrajectoryRow,
+    WinRateRow,
+    history_report,
+    makespan_trajectory,
+    scheduler_win_rates,
+    trajectory_table,
+    win_rate_table,
+)
 
 __all__ = [
     "MakespanBounds",
@@ -48,4 +59,11 @@ __all__ = [
     "load_sweep_records",
     "records_table",
     "stored_sweep_summary",
+    "TrajectoryRow",
+    "WinRateRow",
+    "history_report",
+    "makespan_trajectory",
+    "scheduler_win_rates",
+    "trajectory_table",
+    "win_rate_table",
 ]

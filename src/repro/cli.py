@@ -17,25 +17,32 @@ Installed as ``repro-noctest`` (see ``pyproject.toml``) and runnable as
 * ``headline`` — recompute the paper's quoted reduction percentages.
 * ``sweep [SYSTEM...]`` — run an arbitrary experiment grid (reuse levels ×
   power limits × schedulers) through the parallel sweep engine, with
-  build/characterisation caching (``--jobs``, ``--cache-dir``) and a
+  build/characterisation caching (``--jobs``, ``--cache-dir``), a
   schema-versioned JSON result store (``--out``, re-printable via
-  ``--load``).
+  ``--load``) and a durable sqlite store with incremental re-runs
+  (``--store``, ``--resume``).
+* ``history DB`` — cross-run queries over a sqlite sweep store (scheduler
+  win-rates, makespan over time) plus the JSON↔sqlite migration path
+  (``--import-json``, ``--export-json``).
 * ``export-soc DIRECTORY`` — write the embedded benchmarks as ``.soc`` files.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import os
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from repro.analysis.bounds import bound_report
 from repro.analysis.export import schedule_to_json, sweep_to_csv
 from repro.analysis.gantt import gantt_chart
 from repro.analysis.report import schedule_report, sweep_table
+from repro.analysis.history import history_report
 from repro.analysis.sweeps import records_table, stored_sweep_summary
-from repro.errors import ConfigurationError, ReproError
+from repro.errors import ConfigurationError, ReproError, ResultStoreError
 from repro.experiments.figure1 import (
     PAPER_POWER_SERIES,
     PAPER_PROCESSOR_COUNTS,
@@ -45,9 +52,10 @@ from repro.experiments.figure1 import (
 from repro.experiments.headline import run_headline_claims
 from repro.itc02.library import available_benchmarks, export_benchmarks, load_benchmark
 from repro.noc.characterization import characterize_noc
+from repro.runner.db import SweepDatabase
 from repro.runner.engine import SweepRunner
 from repro.runner.spec import SCHEDULER_FACTORIES, SweepSpec, power_series_label
-from repro.runner.store import load_sweeps, save_sweeps
+from repro.runner.store import load_sweeps, save_stored_sweeps, save_sweeps
 from repro.schedule.planner import TestPlanner
 from repro.schedule.variants import FastestCompletionScheduler
 from repro.system.presets import PAPER_SYSTEMS, build_paper_system
@@ -166,13 +174,53 @@ def _parse_power_limits(text: str) -> tuple[tuple[str, float | None], ...]:
     return tuple(series)
 
 
+#: ``repro sweep`` options that configure a run and are therefore meaningless
+#: together with ``--load`` (attribute name → flag name).  Their defaults are
+#: read off the parser itself (``_sweep_run_defaults``), so the conflict
+#: check cannot drift when a default changes.
+_SWEEP_RUN_OPTIONS: tuple[tuple[str, str], ...] = (
+    ("counts", "--counts"),
+    ("power_limits", "--power-limits"),
+    ("schedulers", "--schedulers"),
+    ("flit_width", "--flit-width"),
+    ("jobs", "--jobs"),
+    ("cache_dir", "--cache-dir"),
+    ("out", "--out"),
+    ("packets", "--packets"),
+    ("no_characterize", "--no-characterize"),
+    ("store", "--store"),
+    ("resume", "--resume"),
+)
+
+
+def _reject_load_conflicts(args: argparse.Namespace) -> None:
+    """``--load`` only prints a stored document; a grid flag next to it would
+    silently run nothing, so reject the combination outright."""
+    conflicting = [
+        flag
+        for attribute, flag in _SWEEP_RUN_OPTIONS
+        if getattr(args, attribute) != args._sweep_run_defaults[attribute]
+    ]
+    if args.systems:
+        conflicting.insert(0, "SYSTEM arguments")
+    if conflicting:
+        raise ConfigurationError(
+            "--load prints a stored result document and does not run a sweep; "
+            "drop " + ", ".join(conflicting) + " or drop --load"
+        )
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.load:
+        _reject_load_conflicts(args)
         for sweep in load_sweeps(args.load):
             print(stored_sweep_summary(sweep))
             print(records_table(sweep.records, title=f"Sweep: {sweep.spec.name}"))
             print()
         return 0
+    if args.resume and not args.store:
+        raise ConfigurationError("--resume needs --store: there is no sqlite store "
+                                 "to resume from")
 
     systems = args.systems or sorted(PAPER_SYSTEMS)
     schedulers = tuple(token.strip() for token in args.schedulers.split(",") if token.strip())
@@ -188,7 +236,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         characterize=not args.no_characterize,
         packet_count=args.packets,
     )
-    entries = []
+    specs = []
     for name in systems:
         if name.lower() not in PAPER_SYSTEMS:
             raise ConfigurationError(
@@ -201,36 +249,115 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             if args.counts
             else PAPER_PROCESSOR_COUNTS[benchmark]
         )
-        spec = SweepSpec(
-            name=f"sweep-{name.lower()}",
-            systems=(name,),
-            processor_counts=counts,
-            power_limits=power_limits,
-            schedulers=schedulers,
-            flit_widths=(args.flit_width,),
+        specs.append(
+            SweepSpec(
+                name=f"sweep-{name.lower()}",
+                systems=(name,),
+                processor_counts=counts,
+                power_limits=power_limits,
+                schedulers=schedulers,
+                flit_widths=(args.flit_width,),
+            )
         )
-        outcomes = runner.run(spec)
-        entries.append((spec, outcomes))
-        # The paper-shaped panel table needs integer counts and a single
-        # scheduler; 'all' (None) counts or scheduler mixes get the flat table.
-        if len(schedulers) == 1 and all(count is not None for count in counts):
-            panel = panel_from_outcomes(spec, outcomes)
-            print(sweep_table(panel.series, title=f"Sweep: {name}"))
-        else:
-            print(records_table([o.record() for o in outcomes], title=f"Sweep: {name}"))
-        print()
+
+    if args.store:
+        _run_sweeps_stored(args, runner, specs)
+    else:
+        _run_sweeps_plain(args, runner, specs, schedulers)
 
     build_stats = runner.system_cache.stats
     char_stats = runner.characterization_cache.stats
     print(
         f"cache: {build_stats.misses} system builds ({build_stats.hits} hits), "
         f"{char_stats.misses} NoC characterisations ({char_stats.hits} hits) "
-        f"for {sum(spec.point_count for spec, _ in entries)} grid points "
+        f"for {sum(spec.point_count for spec in specs)} grid points "
         f"on {runner.jobs} worker(s)"
     )
+    return 0
+
+
+def _run_sweeps_plain(
+    args: argparse.Namespace,
+    runner: SweepRunner,
+    specs: Sequence[SweepSpec],
+    schedulers: Sequence[str],
+) -> None:
+    """Execute every spec in full and optionally write one JSON document."""
+    entries = []
+    for spec in specs:
+        outcomes = runner.run(spec)
+        entries.append((spec, outcomes))
+        (name,) = spec.systems
+        # The paper-shaped panel table needs integer counts and a single
+        # scheduler; 'all' (None) counts or scheduler mixes get the flat table.
+        if len(schedulers) == 1 and all(
+            count is not None for count in spec.processor_counts
+        ):
+            panel = panel_from_outcomes(spec, outcomes)
+            print(sweep_table(panel.series, title=f"Sweep: {name}"))
+        else:
+            print(records_table([o.record() for o in outcomes], title=f"Sweep: {name}"))
+        print()
     if args.out:
         written = save_sweeps(args.out, entries)
         print(f"wrote {written}")
+
+
+def _run_sweeps_stored(
+    args: argparse.Namespace, runner: SweepRunner, specs: Sequence[SweepSpec]
+) -> None:
+    """Execute every spec against the sqlite store, resuming when asked."""
+    executed = skipped = 0
+    with SweepDatabase(args.store) as db:
+        reports = []
+        for spec in specs:
+            report = runner.run_stored(spec, db, resume=args.resume)
+            reports.append(report)
+            executed += report.executed_count
+            skipped += report.skipped_count
+            (name,) = spec.systems
+            print(records_table(report.records, title=f"Sweep: {name}"))
+            print()
+        if args.out:
+            written = save_stored_sweeps(
+                args.out, [db.stored_sweep(report.spec_key) for report in reports]
+            )
+            print(f"wrote {written}")
+    print(
+        f"store {args.store}: {executed} executed, {skipped} skipped "
+        f"across {len(specs)} sweep(s)"
+        + (" [resume]" if args.resume else "")
+    )
+
+
+def _cmd_history(args: argparse.Namespace) -> int:
+    path = Path(args.database)
+    preexisting = path.exists()
+    if not preexisting and not args.import_json:
+        raise ResultStoreError(
+            f"no sqlite sweep store at {path}; run `repro sweep --store {path}` "
+            f"or seed it from a JSON document with --import-json"
+        )
+    try:
+        with SweepDatabase(path) as db:
+            if args.import_json:
+                imported = db.import_document(args.import_json)
+                print(f"imported {imported} record(s) from {args.import_json}")
+                print()
+            if args.export_json:
+                written = db.export_document(args.export_json)
+                print(f"wrote {written}")
+                print()
+            print(history_report(db, system=args.system))
+    except BaseException:
+        if not preexisting:
+            # A failed seeding import must not leave a stray empty store
+            # behind: it would satisfy the existence check above and mask
+            # the real "no store yet" state on the next invocation.
+            for leftover in (path, Path(f"{path}-wal"), Path(f"{path}-shm")):
+                with contextlib.suppress(OSError):
+                    leftover.unlink()
+        raise
     return 0
 
 
@@ -365,7 +492,56 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="print a previously stored result document instead of running",
     )
-    sweep.set_defaults(handler=_cmd_sweep)
+    sweep.add_argument(
+        "--store",
+        default=None,
+        metavar="DB",
+        help="accumulate results in this sqlite store (crash-safe, queryable "
+        "across runs via `repro history`)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="with --store: skip grid points the store already holds and "
+        "execute only the missing ones",
+    )
+    sweep.set_defaults(
+        handler=_cmd_sweep,
+        _sweep_run_defaults={
+            attribute: sweep.get_default(attribute)
+            for attribute, _ in _SWEEP_RUN_OPTIONS
+        },
+    )
+
+    history = subparsers.add_parser(
+        "history",
+        help="query a sqlite sweep store across runs",
+        description="Cross-run queries over a sqlite sweep store written by "
+        "`repro sweep --store`: per-system scheduler win-rates and the "
+        "makespan-over-runs trajectory.  Also the JSON<->sqlite migration "
+        "path: --import-json seeds or extends a store from a schema-v1 "
+        "document, --export-json writes the store back out as one.",
+    )
+    history.add_argument("database", metavar="DB", help="path of the sqlite store")
+    history.add_argument(
+        "--system",
+        choices=sorted(PAPER_SYSTEMS),
+        default=None,
+        help="restrict the report to one paper system",
+    )
+    history.add_argument(
+        "--import-json",
+        default=None,
+        metavar="FILE",
+        help="import a schema-v1 JSON result document into the store first",
+    )
+    history.add_argument(
+        "--export-json",
+        default=None,
+        metavar="FILE",
+        help="export the store as a schema-v1 JSON result document",
+    )
+    history.set_defaults(handler=_cmd_history)
 
     characterize = subparsers.add_parser(
         "characterize",

@@ -4,7 +4,9 @@ The runner package is the orchestration layer above the planner: declare a
 grid with :class:`SweepSpec`, execute it with :class:`SweepRunner` (serially
 or on a process pool, always in deterministic point order), and persist the
 outcome as schema-versioned JSON with :func:`save_sweeps` /
-:func:`load_sweeps`.  The paper's experiment drivers
+:func:`load_sweeps` or durably in a :class:`SweepDatabase` sqlite store
+(crash-safe, accumulates across runs, and enables incremental re-runs via
+:meth:`SweepRunner.run_stored`).  The paper's experiment drivers
 (:mod:`repro.experiments`) and the ``repro sweep`` CLI are thin layers over
 this package.
 
@@ -23,6 +25,7 @@ Quickstart::
         print(outcome.point.label, outcome.makespan)
 """
 
+from repro.runner.atomic import atomic_write_text
 from repro.runner.cache import (
     CacheStats,
     CharacterizationCache,
@@ -30,7 +33,13 @@ from repro.runner.cache import (
     build_point_system,
     content_key,
 )
-from repro.runner.engine import SweepOutcome, SweepRunner, execute_point
+from repro.runner.db import DB_SCHEMA_VERSION, RunInfo, SweepDatabase
+from repro.runner.engine import (
+    StoreRunReport,
+    SweepOutcome,
+    SweepRunner,
+    execute_point,
+)
 from repro.runner.spec import (
     SCHEDULER_FACTORIES,
     SweepPoint,
@@ -43,19 +52,26 @@ from repro.runner.spec import (
 from repro.runner.store import (
     SCHEMA_VERSION,
     StoredSweep,
+    dump_stored_sweeps,
     dump_sweep,
     dump_sweeps,
     load_sweeps,
+    save_stored_sweeps,
     save_sweeps,
     sweeps_document,
 )
 
 __all__ = [
+    "atomic_write_text",
     "CacheStats",
     "CharacterizationCache",
     "SystemCache",
     "build_point_system",
     "content_key",
+    "DB_SCHEMA_VERSION",
+    "RunInfo",
+    "SweepDatabase",
+    "StoreRunReport",
     "SweepOutcome",
     "SweepRunner",
     "execute_point",
@@ -68,9 +84,11 @@ __all__ = [
     "scheduler_spec_name",
     "SCHEMA_VERSION",
     "StoredSweep",
+    "dump_stored_sweeps",
     "dump_sweep",
     "dump_sweeps",
     "load_sweeps",
+    "save_stored_sweeps",
     "save_sweeps",
     "sweeps_document",
 ]

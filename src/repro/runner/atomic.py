@@ -1,0 +1,56 @@
+"""Crash-safe file writes for the persistence layers.
+
+Every on-disk artefact of the runner (result documents, characterisation
+records) is written through :func:`atomic_write_text`: the payload goes to a
+uniquely named temporary file in the target directory and is then moved over
+the destination with :func:`os.replace`, which is atomic on POSIX and
+Windows.  A crash mid-write therefore leaves either the previous file intact
+or, at worst, a stray ``*.tmp`` file next to it — never a truncated
+destination that a later load would reject.  Concurrent writers of the same
+path (e.g. sweeps sharing ``--cache-dir``) each stage their own temporary
+file, so the destination always holds one writer's complete payload.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from pathlib import Path
+
+#: Suffix of staged temporary files; loaders must never pick these up.
+TMP_SUFFIX = ".tmp"
+
+
+def atomic_write_text(path: str | Path, text: str, *, encoding: str = "utf-8") -> Path:
+    """Write ``text`` to ``path`` atomically and return the written path.
+
+    The parent directory is created if needed.  On any failure the staged
+    temporary file is removed and the destination is left untouched.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        mode="w",
+        encoding=encoding,
+        dir=target.parent,
+        prefix=target.name + ".",
+        suffix=TMP_SUFFIX,
+        delete=False,
+    )
+    try:
+        with handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        # NamedTemporaryFile creates 0600 files; give the destination the
+        # same umask-derived mode a plain open()/write_text would have.
+        umask = os.umask(0)
+        os.umask(umask)
+        os.chmod(handle.name, 0o666 & ~umask)
+        os.replace(handle.name, target)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(handle.name)
+        raise
+    return target

@@ -28,6 +28,7 @@ from typing import Mapping
 
 from repro.noc.characterization import NocCharacterization, characterize_noc
 from repro.noc.network import Network
+from repro.runner.atomic import atomic_write_text
 from repro.processors.applications import BistApplication
 from repro.system.builder import SocSystem
 from repro.system.presets import (
@@ -228,10 +229,13 @@ class CharacterizationCache:
         path = self._record_path(key)
         if path is None:
             return
-        path.parent.mkdir(parents=True, exist_ok=True)
         document = {
             "schema_version": CHARACTERIZATION_SCHEMA_VERSION,
             "key": key,
             "characterization": asdict(characterization),
         }
-        path.write_text(json.dumps(document, indent=2, sort_keys=True), encoding="utf-8")
+        # Staged-temp-file + os.replace: a crash mid-write cannot truncate an
+        # existing record, and concurrent sweeps sharing the cache directory
+        # each land a complete record (the campaign is deterministic for a
+        # given key, so last-writer-wins is content-identical).
+        atomic_write_text(path, json.dumps(document, indent=2, sort_keys=True))

@@ -1,0 +1,401 @@
+"""Sqlite-backed sweep-result store (schema v2).
+
+:class:`SweepDatabase` is the durable successor of the schema-v1 JSON
+documents of :mod:`repro.runner.store`: results accumulate across runs in a
+single sqlite file, indexed by ``(spec_key, point_index)``, so interrupted or
+extended sweeps can resume (see :meth:`repro.runner.engine.SweepRunner.run_stored`)
+and cross-run questions — scheduler win-rates, makespan over time — stay
+queryable long after the runs that produced them
+(:mod:`repro.analysis.history`).
+
+Layout (``schema v2``; v1 is the JSON document format):
+
+``sweeps``
+    One row per distinct grid, keyed by the spec's content hash
+    (``spec_key``) with the spec itself as canonical JSON.
+``records``
+    One row per executed grid point *per run*, primary key ``(spec_key,
+    point_index, run_id)`` — append-only, so earlier runs stay queryable
+    (the makespan-over-runs trajectory) while the *current* state of a
+    point is simply its latest run's row.  The full outcome record is
+    stored as canonical JSON next to the indexed headline columns (system,
+    scheduler, makespan...), so a record round-trips exactly and equality
+    with a JSON document is byte-comparable.
+``runs``
+    One row per store-backed runner invocation (or JSON import) with its
+    executed/skipped point counters — the time axis of the history queries.
+
+Durability: the connection runs with WAL journaling and
+``synchronous=NORMAL``; every mutation happens inside a transaction, so a
+crash mid-sweep leaves the store at the last committed point set instead of
+a truncated file.  JSON documents remain the import/export interchange
+format via :meth:`import_document` / :meth:`export_document`.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+from repro.errors import ResultStoreError
+from repro.runner.spec import SweepSpec
+from repro.runner.store import StoredSweep, load_sweeps, save_stored_sweeps
+
+#: Version of the sqlite store layout (v1 is the JSON document format).
+DB_SCHEMA_VERSION = 2
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS sweeps (
+    spec_key  TEXT PRIMARY KEY,
+    name      TEXT NOT NULL,
+    spec_json TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS runs (
+    run_id          INTEGER PRIMARY KEY AUTOINCREMENT,
+    spec_key        TEXT NOT NULL REFERENCES sweeps(spec_key),
+    source          TEXT NOT NULL,
+    executed_points INTEGER NOT NULL,
+    skipped_points  INTEGER NOT NULL,
+    created_at      TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS records (
+    spec_key          TEXT NOT NULL REFERENCES sweeps(spec_key),
+    point_index       INTEGER NOT NULL,
+    system            TEXT NOT NULL,
+    scheduler         TEXT NOT NULL,
+    power_label       TEXT NOT NULL,
+    reused_processors INTEGER,
+    makespan          INTEGER NOT NULL,
+    run_id            INTEGER NOT NULL REFERENCES runs(run_id),
+    record_json       TEXT NOT NULL,
+    PRIMARY KEY (spec_key, point_index, run_id)
+);
+CREATE INDEX IF NOT EXISTS idx_records_system_scheduler
+    ON records(system, scheduler);
+"""
+
+
+@dataclass(frozen=True)
+class RunInfo:
+    """One store-backed runner invocation (a row of the ``runs`` table)."""
+
+    run_id: int
+    spec_key: str
+    sweep_name: str
+    source: str
+    executed_points: int
+    skipped_points: int
+    created_at: str
+
+
+def _canonical_record_json(record: Mapping) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class SweepDatabase:
+    """A sqlite store of sweep results, indexed by ``(spec_key, point_index)``.
+
+    Usable as a context manager::
+
+        with SweepDatabase("sweeps.db") as db:
+            report = SweepRunner().run_stored(spec, db, resume=True)
+
+    Raises:
+        ResultStoreError: when the file exists but is not a sqlite store of
+            this schema version, or when stored specs fail their content-key
+            integrity check on load.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            self._connection = sqlite3.connect(self._path)
+        except sqlite3.Error as exc:
+            raise ResultStoreError(f"cannot open sqlite store {self._path}: {exc}") from exc
+        self._connection.row_factory = sqlite3.Row
+        try:
+            self._connection.execute("PRAGMA journal_mode=WAL")
+            self._connection.execute("PRAGMA synchronous=NORMAL")
+            self._connection.execute("PRAGMA foreign_keys=ON")
+            self._init_schema()
+        except sqlite3.DatabaseError as exc:
+            self._connection.close()
+            raise ResultStoreError(
+                f"{self._path} is not a usable sqlite sweep store: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> Path:
+        """Location of the sqlite file."""
+        return self._path
+
+    def close(self) -> None:
+        """Close the underlying connection (the object is unusable after)."""
+        self._connection.close()
+
+    def __enter__(self) -> "SweepDatabase":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _init_schema(self) -> None:
+        with self._connection:
+            self._connection.executescript(_SCHEMA)
+            row = self._connection.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                self._connection.execute(
+                    "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
+                    (str(DB_SCHEMA_VERSION),),
+                )
+            elif row["value"] != str(DB_SCHEMA_VERSION):
+                raise ResultStoreError(
+                    f"sqlite store {self._path} has schema version {row['value']}; "
+                    f"this reader supports version {DB_SCHEMA_VERSION}"
+                )
+
+    # ------------------------------------------------------------------
+    # Sweeps and records.
+    # ------------------------------------------------------------------
+    def ensure_sweep(self, spec: SweepSpec) -> str:
+        """Register ``spec`` (idempotent) and return its spec key."""
+        spec_key = spec.content_key()
+        with self._connection:
+            self._connection.execute(
+                "INSERT OR IGNORE INTO sweeps (spec_key, name, spec_json) "
+                "VALUES (?, ?, ?)",
+                (
+                    spec_key,
+                    spec.name,
+                    json.dumps(spec.to_dict(), sort_keys=True, separators=(",", ":")),
+                ),
+            )
+        return spec_key
+
+    def spec_keys(self) -> list[str]:
+        """Spec keys of every registered sweep, in insertion order."""
+        rows = self._connection.execute("SELECT spec_key FROM sweeps ORDER BY rowid")
+        return [row["spec_key"] for row in rows]
+
+    def existing_indices(self, spec_key: str) -> frozenset[int]:
+        """Point indices that already hold a record for ``spec_key``."""
+        rows = self._connection.execute(
+            "SELECT DISTINCT point_index FROM records WHERE spec_key = ?", (spec_key,)
+        )
+        return frozenset(row["point_index"] for row in rows)
+
+    def record_run(
+        self,
+        spec_key: str,
+        records: Sequence[Mapping],
+        *,
+        executed: int,
+        skipped: int,
+        source: str = "sweep",
+    ) -> int:
+        """Commit one run: a ``runs`` row plus its outcome records, atomically.
+
+        Records append under the new run id — earlier runs' records stay in
+        place for the history queries; a point's *current* record (what
+        :meth:`records` returns and resume consults) is its latest run's
+        row.  The run row and every record land in a single transaction, so
+        a crash mid-commit leaves the store at the previous run's state.
+        Returns the new run id.
+        """
+        created_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
+        with self._connection:
+            cursor = self._connection.execute(
+                "INSERT INTO runs (spec_key, source, executed_points, "
+                "skipped_points, created_at) VALUES (?, ?, ?, ?, ?)",
+                (spec_key, source, executed, skipped, created_at),
+            )
+            run_id = int(cursor.lastrowid)
+            self._connection.executemany(
+                "INSERT INTO records (spec_key, point_index, system, "
+                "scheduler, power_label, reused_processors, makespan, run_id, "
+                "record_json) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                [
+                    (
+                        spec_key,
+                        int(record["index"]),
+                        str(record["system"]),
+                        str(record["scheduler"]),
+                        str(record["power_label"]),
+                        record["reused_processors"],
+                        int(record["makespan"]),
+                        run_id,
+                        _canonical_record_json(record),
+                    )
+                    for record in records
+                ],
+            )
+        return run_id
+
+    def records(self, spec_key: str) -> list[dict]:
+        """The current record of every point of ``spec_key``, in point order.
+
+        "Current" is the latest run's record per point — earlier runs'
+        records remain stored for :meth:`history_rows`.
+        """
+        rows = self._connection.execute(
+            "SELECT record_json FROM records "
+            "WHERE spec_key = :key AND run_id = ("
+            "    SELECT MAX(run_id) FROM records AS latest"
+            "    WHERE latest.spec_key = :key"
+            "      AND latest.point_index = records.point_index"
+            ") ORDER BY point_index",
+            {"key": spec_key},
+        )
+        return [json.loads(row["record_json"]) for row in rows]
+
+    def record_count(self, spec_key: str | None = None) -> int:
+        """Number of current records (for one sweep, or the whole store)."""
+        if spec_key is None:
+            row = self._connection.execute(
+                "SELECT COUNT(*) AS n FROM "
+                "(SELECT DISTINCT spec_key, point_index FROM records)"
+            ).fetchone()
+        else:
+            row = self._connection.execute(
+                "SELECT COUNT(DISTINCT point_index) AS n FROM records "
+                "WHERE spec_key = ?",
+                (spec_key,),
+            ).fetchone()
+        return int(row["n"])
+
+    def stored_sweep(self, spec_key: str) -> StoredSweep:
+        """One sweep with its records, integrity-checked.
+
+        Raises:
+            ResultStoreError: for an unknown key, or when the stored spec no
+                longer hashes to its key (a tampered or corrupted store).
+        """
+        row = self._connection.execute(
+            "SELECT name, spec_json FROM sweeps WHERE spec_key = ?", (spec_key,)
+        ).fetchone()
+        if row is None:
+            raise ResultStoreError(
+                f"sqlite store {self._path} has no sweep with spec key "
+                f"{spec_key[:12]}..."
+            )
+        try:
+            spec = SweepSpec.from_dict(json.loads(row["spec_json"]))
+        except (json.JSONDecodeError, TypeError) as exc:
+            raise ResultStoreError(
+                f"sqlite store {self._path}: sweep {row['name']!r} holds a "
+                f"malformed spec: {exc}"
+            ) from exc
+        if spec.content_key() != spec_key:
+            raise ResultStoreError(
+                f"sqlite store {self._path}: sweep {row['name']!r} is keyed "
+                f"{spec_key[:12]}... but its spec hashes to "
+                f"{spec.content_key()[:12]}...; refusing the inconsistent store"
+            )
+        return StoredSweep(
+            spec=spec, spec_key=spec_key, records=tuple(self.records(spec_key))
+        )
+
+    def stored_sweeps(self) -> list[StoredSweep]:
+        """Every sweep of the store with its records, integrity-checked."""
+        return [self.stored_sweep(spec_key) for spec_key in self.spec_keys()]
+
+    # ------------------------------------------------------------------
+    # History.
+    # ------------------------------------------------------------------
+    def runs(self) -> list[RunInfo]:
+        """Every recorded run, oldest first."""
+        rows = self._connection.execute(
+            "SELECT runs.run_id, runs.spec_key, sweeps.name, runs.source, "
+            "runs.executed_points, runs.skipped_points, runs.created_at "
+            "FROM runs JOIN sweeps ON runs.spec_key = sweeps.spec_key "
+            "ORDER BY runs.run_id"
+        )
+        return [
+            RunInfo(
+                run_id=row["run_id"],
+                spec_key=row["spec_key"],
+                sweep_name=row["name"],
+                source=row["source"],
+                executed_points=row["executed_points"],
+                skipped_points=row["skipped_points"],
+                created_at=row["created_at"],
+            )
+            for row in rows
+        ]
+
+    def history_rows(self) -> Iterator[dict]:
+        """Flat (run × record) rows for the cross-run history queries.
+
+        Each row carries the run's id/time axis next to the full outcome
+        record; ordered by run, then sweep, then point index.
+        """
+        rows = self._connection.execute(
+            "SELECT runs.run_id, runs.created_at, sweeps.name, records.record_json "
+            "FROM records "
+            "JOIN runs ON records.run_id = runs.run_id "
+            "JOIN sweeps ON records.spec_key = sweeps.spec_key "
+            "ORDER BY runs.run_id, records.spec_key, records.point_index"
+        )
+        for row in rows:
+            yield {
+                "run_id": row["run_id"],
+                "created_at": row["created_at"],
+                "sweep_name": row["name"],
+                "record": json.loads(row["record_json"]),
+            }
+
+    # ------------------------------------------------------------------
+    # JSON migration path.
+    # ------------------------------------------------------------------
+    def import_document(self, path: str | Path) -> int:
+        """Import a schema-v1 JSON result document; returns records imported.
+
+        The import lands as a new run, so for any point the document shares
+        with earlier runs it becomes the current record — the JSON document
+        is treated as the newer truth for the points it holds.
+
+        Raises:
+            ResultStoreError: when the document is unreadable, fails its
+                spec-key check, or holds records without a point index.
+        """
+        imported = 0
+        for sweep in load_sweeps(path):
+            for record in sweep.records:
+                if "index" not in record:
+                    raise ResultStoreError(
+                        f"cannot import {path}: sweep {sweep.spec.name!r} holds "
+                        "a record without a point index"
+                    )
+            self.ensure_sweep(sweep.spec)
+            self.record_run(
+                sweep.spec_key,
+                sweep.records,
+                executed=len(sweep.records),
+                skipped=0,
+                source=f"import:{Path(path).name}",
+            )
+            imported += len(sweep.records)
+        return imported
+
+    def export_document(self, path: str | Path) -> Path:
+        """Export every stored sweep as a schema-v1 JSON document (atomic).
+
+        The export is canonical: a document that was imported and exported
+        again is byte-identical, as is the document a plain ``--out`` run of
+        the same grids would have written.
+        """
+        return save_stored_sweeps(path, self.stored_sweeps())

@@ -20,7 +20,7 @@ import multiprocessing
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import ConfigurationError
 from repro.noc.characterization import NocCharacterization
@@ -28,6 +28,9 @@ from repro.runner.cache import CharacterizationCache, SystemCache
 from repro.runner.spec import SweepPoint, SweepSpec, make_scheduler
 from repro.schedule.planner import TestPlanner
 from repro.schedule.result import ScheduleResult
+
+if TYPE_CHECKING:  # imported lazily at runtime (db imports the store layer)
+    from repro.runner.db import SweepDatabase
 
 
 @dataclass(frozen=True)
@@ -107,6 +110,39 @@ def _pool_worker(point: SweepPoint) -> ScheduleResult:
     return execute_point(point, _WORKER_SYSTEM_CACHE)
 
 
+@dataclass(frozen=True)
+class StoreRunReport:
+    """The outcome of one store-backed (optionally resumed) sweep run.
+
+    Attributes:
+        spec: the grid that was run.
+        spec_key: the spec's content key in the store.
+        records: every record of the grid, in point order, as now stored —
+            freshly executed points merged with previously stored ones.
+        executed_indices: point indices executed by this run.
+        skipped_indices: point indices skipped because the store already
+            held their records (always empty without ``resume``).
+        run_id: the store's id for this run (the history time axis).
+    """
+
+    spec: SweepSpec
+    spec_key: str
+    records: tuple[dict, ...]
+    executed_indices: tuple[int, ...]
+    skipped_indices: tuple[int, ...]
+    run_id: int
+
+    @property
+    def executed_count(self) -> int:
+        """Number of grid points this run actually executed."""
+        return len(self.executed_indices)
+
+    @property
+    def skipped_count(self) -> int:
+        """Number of grid points satisfied from the store."""
+        return len(self.skipped_indices)
+
+
 class SweepRunner:
     """Executes sweep specs with caching and optional parallelism.
 
@@ -147,7 +183,69 @@ class SweepRunner:
     # ------------------------------------------------------------------
     def run(self, spec: SweepSpec) -> list[SweepOutcome]:
         """Execute every point of ``spec`` and return outcomes in point order."""
+        return self._run_points(spec.points())
+
+    def run_stored(
+        self, spec: SweepSpec, store: "SweepDatabase", *, resume: bool = False
+    ) -> StoreRunReport:
+        """Execute ``spec`` against a sqlite store, optionally incrementally.
+
+        With ``resume``, points whose ``(spec_key, point_index)`` already
+        hold a *compatible* record are skipped and served from the store;
+        only the rest is executed (serially or on the pool, like
+        :meth:`run`).  Compatible means produced under this runner's
+        characterisation settings — a record without characterisation data,
+        or characterised with a different packet count, does not satisfy a
+        characterising runner (and vice versa), since resuming over it
+        would diverge from a from-scratch run.  Because every point is
+        planned independently and records are keyed by point index, a
+        resumed — even parallel — run yields records identical to a
+        from-scratch serial run of the full grid.  Without ``resume``, the
+        whole grid is executed and re-recorded.
+
+        The executed records are committed to the store in one transaction
+        together with a ``runs`` row holding the executed/skipped counters.
+        """
+        spec_key = store.ensure_sweep(spec)
         points = spec.points()
+        existing = self._reusable_indices(store, spec_key) if resume else frozenset()
+        pending = tuple(point for point in points if point.index not in existing)
+        outcomes = self._run_points(pending)
+        run_id = store.record_run(
+            spec_key,
+            [outcome.record() for outcome in outcomes],
+            executed=len(pending),
+            skipped=len(points) - len(pending),
+        )
+        return StoreRunReport(
+            spec=spec,
+            spec_key=spec_key,
+            records=tuple(store.records(spec_key)),
+            executed_indices=tuple(point.index for point in pending),
+            skipped_indices=tuple(
+                sorted(existing.intersection(point.index for point in points))
+            ),
+            run_id=run_id,
+        )
+
+    def _reusable_indices(self, store: "SweepDatabase", spec_key: str) -> frozenset[int]:
+        """Stored point indices whose records this runner's settings can reuse."""
+        reusable = set()
+        for record in store.records(spec_key):
+            characterization = record.get("characterization")
+            if self.characterize:
+                compatible = (
+                    isinstance(characterization, dict)
+                    and characterization.get("packet_count") == self.packet_count
+                )
+            else:
+                compatible = characterization is None
+            if compatible:
+                reusable.add(int(record["index"]))
+        return frozenset(reusable)
+
+    def _run_points(self, points: Sequence[SweepPoint]) -> list[SweepOutcome]:
+        """Characterise and execute ``points``, returning outcomes in order."""
         characterizations = self._characterize_systems(points)
         if self.jobs == 1 or len(points) <= 1:
             results = [execute_point(point, self.system_cache) for point in points]

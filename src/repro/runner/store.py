@@ -29,6 +29,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.errors import ResultStoreError
+from repro.runner.atomic import atomic_write_text
 from repro.runner.engine import SweepOutcome
 from repro.runner.spec import SweepSpec
 
@@ -77,11 +78,43 @@ def dump_sweeps(entries: Sequence[tuple[SweepSpec, Sequence[SweepOutcome]]]) -> 
 def save_sweeps(
     path: str | Path, entries: Sequence[tuple[SweepSpec, Sequence[SweepOutcome]]]
 ) -> Path:
-    """Write a result document to ``path`` and return the written path."""
-    target = Path(path)
-    target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(dump_sweeps(entries), encoding="utf-8")
-    return target
+    """Write a result document to ``path`` (atomically) and return the path.
+
+    The document is staged in a temporary file and moved into place with
+    ``os.replace``, so a crash mid-write never leaves a truncated document
+    that :func:`load_sweeps` would then reject.
+    """
+    return atomic_write_text(path, dump_sweeps(entries))
+
+
+def stored_entry(sweep: StoredSweep) -> dict:
+    """The document entry for one already-stored sweep (record dicts)."""
+    records = sorted(sweep.records, key=lambda record: record.get("index", 0))
+    return {
+        "spec": sweep.spec.to_dict(),
+        "spec_key": sweep.spec_key,
+        "records": records,
+    }
+
+
+def dump_stored_sweeps(sweeps: Sequence[StoredSweep]) -> str:
+    """Canonical JSON text for already-stored sweeps (deterministic)."""
+    document = {
+        "schema_version": SCHEMA_VERSION,
+        "sweeps": [stored_entry(sweep) for sweep in sweeps],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def save_stored_sweeps(path: str | Path, sweeps: Sequence[StoredSweep]) -> Path:
+    """Write already-stored sweeps as a result document (atomically).
+
+    This is the JSON export half of the sqlite migration path
+    (:meth:`repro.runner.db.SweepDatabase.export_document`): a document
+    exported from records equals the one :func:`save_sweeps` would have
+    written for the original outcomes, byte for byte.
+    """
+    return atomic_write_text(path, dump_stored_sweeps(sweeps))
 
 
 def load_sweeps(path: str | Path) -> list[StoredSweep]:
@@ -128,6 +161,15 @@ def load_sweeps(path: str | Path) -> list[StoredSweep]:
             )
         spec = SweepSpec.from_dict(spec_data)
         spec_key = str(entry.get("spec_key", spec.content_key()))
+        # The stored key must match the spec it claims to describe: a stale
+        # or tampered key would silently drive incremental re-runs to skip
+        # the wrong points.
+        if spec_key != spec.content_key():
+            raise ResultStoreError(
+                f"result store {target}: sweep entry {position} ({spec.name!r}) "
+                f"has spec_key {spec_key[:12]}... but its spec hashes to "
+                f"{spec.content_key()[:12]}...; refusing the inconsistent document"
+            )
         loaded.append(
             StoredSweep(spec=spec, spec_key=spec_key, records=tuple(records))
         )

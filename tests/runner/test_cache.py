@@ -120,3 +120,42 @@ class TestCharacterizationCache:
         fresh = CharacterizationCache(tmp_path)
         fresh.get(small_network, packet_count=20)
         assert fresh.stats.misses == 1
+
+    def test_crash_mid_persist_leaves_previous_record(
+        self, small_network, tmp_path, monkeypatch
+    ):
+        """Simulated crash while persisting: the on-disk record keeps its
+        previous (complete) content instead of ending up truncated."""
+        import os as os_module
+
+        cache = CharacterizationCache(tmp_path)
+        cache.get(small_network, packet_count=20)
+        (record,) = tmp_path.glob("noc-characterization-*.json")
+        before = record.read_bytes()
+
+        def crash(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(os_module, "replace", crash)
+        fresh = CharacterizationCache(tmp_path)
+        record.unlink()  # force a recompute that must then fail to persist
+        with pytest.raises(OSError, match="simulated crash"):
+            fresh.get(small_network, packet_count=20)
+        monkeypatch.undo()
+
+        record.write_bytes(before)
+        reloaded = CharacterizationCache(tmp_path)
+        reloaded.get(small_network, packet_count=20)
+        assert reloaded.stats.hits == 1 and reloaded.stats.misses == 0
+
+    def test_leftover_temp_file_not_loaded(self, small_network, tmp_path):
+        """Stray ``*.tmp`` staging files (a hard crash's residue) must never
+        be picked up as cache records."""
+        cache = CharacterizationCache(tmp_path)
+        computed = cache.get(small_network, packet_count=20)
+        (record,) = tmp_path.glob("noc-characterization-*.json")
+        partial = tmp_path / (record.name + ".xyz.tmp")
+        partial.write_text('{"schema_version": 1, "charac', encoding="utf-8")
+        fresh = CharacterizationCache(tmp_path)
+        assert fresh.get(small_network, packet_count=20) == computed
+        assert fresh.stats.hits == 1 and fresh.stats.misses == 0

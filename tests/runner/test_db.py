@@ -1,0 +1,232 @@
+"""Tests of the sqlite-backed sweep store and the incremental resume path."""
+
+import sqlite3
+
+import pytest
+
+from repro.errors import ResultStoreError
+from repro.runner.db import DB_SCHEMA_VERSION, SweepDatabase
+from repro.runner.engine import SweepRunner
+from repro.runner.spec import SweepSpec
+from repro.runner.store import save_sweeps
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return SweepSpec(
+        name="db-grid",
+        systems=("d695_plasma",),
+        processor_counts=(0, 2, 6),
+        power_limits={"no power limit": None, "50% power limit": 0.5},
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_records(spec):
+    """Records of a from-scratch serial full run — the equivalence baseline."""
+    return [outcome.record() for outcome in SweepRunner(jobs=1).run(spec)]
+
+
+class TestRoundtrip:
+    def test_records_round_trip(self, spec, serial_records, tmp_path):
+        with SweepDatabase(tmp_path / "sweeps.db") as db:
+            spec_key = db.ensure_sweep(spec)
+            db.record_run(
+                spec_key, serial_records, executed=len(serial_records), skipped=0
+            )
+            assert db.records(spec_key) == serial_records
+            assert db.record_count() == len(serial_records)
+
+    def test_stored_sweep_integrity(self, spec, serial_records, tmp_path):
+        with SweepDatabase(tmp_path / "sweeps.db") as db:
+            spec_key = db.ensure_sweep(spec)
+            db.record_run(spec_key, serial_records, executed=6, skipped=0)
+            stored = db.stored_sweep(spec_key)
+            assert stored.spec == spec
+            assert stored.spec_key == spec.content_key()
+            assert list(stored.records) == serial_records
+
+    def test_reopen_persists(self, spec, serial_records, tmp_path):
+        path = tmp_path / "sweeps.db"
+        with SweepDatabase(path) as db:
+            spec_key = db.ensure_sweep(spec)
+            db.record_run(spec_key, serial_records, executed=6, skipped=0)
+        with SweepDatabase(path) as reopened:
+            assert reopened.records(spec_key) == serial_records
+
+    def test_wal_journaling(self, tmp_path):
+        with SweepDatabase(tmp_path / "sweeps.db") as db:
+            row = db._connection.execute("PRAGMA journal_mode").fetchone()
+            assert row[0] == "wal"
+
+    def test_unknown_spec_key_rejected(self, tmp_path):
+        with SweepDatabase(tmp_path / "sweeps.db") as db:
+            with pytest.raises(ResultStoreError, match="no sweep"):
+                db.stored_sweep("0" * 64)
+
+
+class TestIntegrityChecks:
+    def test_not_a_sqlite_file(self, tmp_path):
+        path = tmp_path / "bogus.db"
+        path.write_text("definitely not sqlite", encoding="utf-8")
+        with pytest.raises(ResultStoreError, match="not a usable sqlite"):
+            SweepDatabase(path)
+
+    def test_wrong_schema_version(self, tmp_path):
+        path = tmp_path / "sweeps.db"
+        SweepDatabase(path).close()
+        connection = sqlite3.connect(path)
+        with connection:
+            connection.execute(
+                "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                (str(DB_SCHEMA_VERSION + 1),),
+            )
+        connection.close()
+        with pytest.raises(ResultStoreError, match="schema version"):
+            SweepDatabase(path)
+
+    def test_tampered_spec_key_rejected(self, spec, serial_records, tmp_path):
+        """A stored spec that no longer hashes to its key must be refused:
+        a stale key would drive resume to skip the wrong points."""
+        path = tmp_path / "sweeps.db"
+        with SweepDatabase(path) as db:
+            spec_key = db.ensure_sweep(spec)
+            db.record_run(spec_key, serial_records, executed=6, skipped=0)
+        connection = sqlite3.connect(path)
+        with connection:
+            connection.execute(
+                "UPDATE sweeps SET spec_json = replace(spec_json, 'db-grid', 'other')"
+            )
+        connection.close()
+        with SweepDatabase(path) as db:
+            with pytest.raises(ResultStoreError, match="hashes to"):
+                db.stored_sweep(spec_key)
+
+
+class TestResume:
+    def test_resume_skips_existing_points(self, spec, tmp_path):
+        runner = SweepRunner(jobs=1)
+        with SweepDatabase(tmp_path / "sweeps.db") as db:
+            first = runner.run_stored(spec, db, resume=True)
+            assert first.executed_count == spec.point_count
+            assert first.skipped_count == 0
+            second = runner.run_stored(spec, db, resume=True)
+            assert second.executed_count == 0
+            assert second.skipped_count == spec.point_count
+            assert second.records == first.records
+
+    def test_interrupted_sweep_resumes_only_missing(self, spec, serial_records, tmp_path):
+        """Seed the store with a partial run (as an interrupt would leave it);
+        resume must execute exactly the missing points and converge on the
+        serial full-run records."""
+        partial = [r for r in serial_records if r["index"] in (0, 2, 5)]
+        with SweepDatabase(tmp_path / "sweeps.db") as db:
+            spec_key = db.ensure_sweep(spec)
+            db.record_run(spec_key, partial, executed=len(partial), skipped=0)
+            report = SweepRunner(jobs=1).run_stored(spec, db, resume=True)
+            assert report.executed_indices == (1, 3, 4)
+            assert report.skipped_indices == (0, 2, 5)
+            assert list(report.records) == serial_records
+
+    def test_parallel_resumed_equals_serial_full(self, spec, serial_records, tmp_path):
+        """A parallel resumed run over a partial store must be record-identical
+        to a from-scratch serial run — the PR's acceptance criterion."""
+        partial = [r for r in serial_records if r["index"] % 2 == 0]
+        with SweepDatabase(tmp_path / "sweeps.db") as db:
+            spec_key = db.ensure_sweep(spec)
+            db.record_run(spec_key, partial, executed=len(partial), skipped=0)
+            report = SweepRunner(jobs=2).run_stored(spec, db, resume=True)
+            assert report.executed_count == spec.point_count - len(partial)
+            assert list(report.records) == serial_records
+
+    def test_without_resume_reexecutes_everything(self, spec, tmp_path):
+        runner = SweepRunner(jobs=1)
+        with SweepDatabase(tmp_path / "sweeps.db") as db:
+            runner.run_stored(spec, db)
+            report = runner.run_stored(spec, db)
+            assert report.executed_count == spec.point_count
+            assert report.skipped_count == 0
+            assert db.record_count() == spec.point_count
+
+    def test_resume_does_not_reuse_mismatched_characterization(self, spec, tmp_path):
+        """Records written without characterisation (or with a different
+        packet count) must not satisfy a characterising resume — reusing
+        them would diverge from a from-scratch run."""
+        with SweepDatabase(tmp_path / "sweeps.db") as db:
+            SweepRunner(jobs=1).run_stored(spec, db)  # characterize=False
+            report = SweepRunner(
+                jobs=1, characterize=True, packet_count=40
+            ).run_stored(spec, db, resume=True)
+            assert report.executed_count == spec.point_count
+            assert report.skipped_count == 0
+            assert all(
+                record["characterization"]["packet_count"] == 40
+                for record in report.records
+            )
+            # ...and a matching resume then reuses everything.
+            again = SweepRunner(
+                jobs=1, characterize=True, packet_count=40
+            ).run_stored(spec, db, resume=True)
+            assert again.executed_count == 0
+            # A different packet count is again incompatible.
+            other = SweepRunner(
+                jobs=1, characterize=True, packet_count=60
+            ).run_stored(spec, db, resume=True)
+            assert other.executed_count == spec.point_count
+
+    def test_earlier_runs_stay_in_history(self, spec, tmp_path):
+        """Records append per run: re-running a grid must not erase the
+        previous run's rows from the history (the makespan trajectory)."""
+        runner = SweepRunner(jobs=1)
+        with SweepDatabase(tmp_path / "sweeps.db") as db:
+            runner.run_stored(spec, db)
+            runner.run_stored(spec, db)
+            by_run: dict[int, int] = {}
+            for row in db.history_rows():
+                by_run[row["run_id"]] = by_run.get(row["run_id"], 0) + 1
+            assert by_run == {1: spec.point_count, 2: spec.point_count}
+            # Current state still reports one record per point.
+            assert db.record_count() == spec.point_count
+
+    def test_runs_table_records_counters(self, spec, tmp_path):
+        runner = SweepRunner(jobs=1)
+        with SweepDatabase(tmp_path / "sweeps.db") as db:
+            runner.run_stored(spec, db, resume=True)
+            runner.run_stored(spec, db, resume=True)
+            first, second = db.runs()
+            assert first.executed_points == spec.point_count
+            assert first.skipped_points == 0
+            assert second.executed_points == 0
+            assert second.skipped_points == spec.point_count
+            assert second.run_id > first.run_id
+            assert first.source == "sweep"
+
+
+class TestMigration:
+    def test_json_to_sqlite_to_json_round_trip(self, spec, tmp_path):
+        outcomes = SweepRunner(jobs=1).run(spec)
+        document = save_sweeps(tmp_path / "results.json", [(spec, outcomes)])
+        with SweepDatabase(tmp_path / "sweeps.db") as db:
+            imported = db.import_document(document)
+            assert imported == spec.point_count
+            exported = db.export_document(tmp_path / "exported.json")
+        assert exported.read_bytes() == document.read_bytes()
+
+    def test_import_records_run_source(self, spec, serial_records, tmp_path):
+        document = tmp_path / "results.json"
+        outcomes = SweepRunner(jobs=1).run(spec)
+        save_sweeps(document, [(spec, outcomes)])
+        with SweepDatabase(tmp_path / "sweeps.db") as db:
+            db.import_document(document)
+            (run,) = db.runs()
+            assert run.source == "import:results.json"
+
+    def test_export_matches_direct_save(self, spec, tmp_path):
+        """Executing into the store then exporting equals saving the outcomes
+        as JSON directly — byte for byte."""
+        outcomes = SweepRunner(jobs=1).run(spec)
+        direct = save_sweeps(tmp_path / "direct.json", [(spec, outcomes)])
+        with SweepDatabase(tmp_path / "sweeps.db") as db:
+            SweepRunner(jobs=1).run_stored(spec, db)
+            exported = db.export_document(tmp_path / "exported.json")
+        assert exported.read_bytes() == direct.read_bytes()

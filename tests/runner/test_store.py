@@ -81,6 +81,91 @@ class TestLoadErrors:
         with pytest.raises(ResultStoreError, match="malformed|missing"):
             load_sweeps(path)
 
+    def test_spec_key_mismatch_rejected(self, executed, tmp_path):
+        """A stored spec_key that does not hash back to the stored spec must
+        be refused: resume decisions keyed on it would skip the wrong
+        points."""
+        spec, outcomes = executed
+        path = save_sweeps(tmp_path / "results.json", [(spec, outcomes)])
+        document = json.loads(path.read_text(encoding="utf-8"))
+        document["sweeps"][0]["spec_key"] = "f" * 64
+        path.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(ResultStoreError, match="hashes to"):
+            load_sweeps(path)
+
+    def test_absent_spec_key_backfilled(self, executed, tmp_path):
+        """Pre-spec_key documents (the field is optional) still load."""
+        spec, outcomes = executed
+        path = save_sweeps(tmp_path / "results.json", [(spec, outcomes)])
+        document = json.loads(path.read_text(encoding="utf-8"))
+        del document["sweeps"][0]["spec_key"]
+        path.write_text(json.dumps(document), encoding="utf-8")
+        (stored,) = load_sweeps(path)
+        assert stored.spec_key == spec.content_key()
+
+
+class TestAtomicWrites:
+    def test_crash_mid_write_leaves_previous_document(
+        self, executed, tmp_path, monkeypatch
+    ):
+        """Simulated crash during save: the staged temp file never reaches the
+        destination, so the previous document stays loadable."""
+        import os as os_module
+
+        spec, outcomes = executed
+        path = save_sweeps(tmp_path / "results.json", [(spec, outcomes)])
+        before = path.read_bytes()
+
+        def crash(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(os_module, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            save_sweeps(path, [(spec, outcomes[:1])])
+        monkeypatch.undo()
+
+        assert path.read_bytes() == before
+        (stored,) = load_sweeps(path)
+        assert len(stored.records) == len(outcomes)
+
+    def test_leftover_partial_temp_file_is_ignored(self, executed, tmp_path):
+        """A partial ``*.tmp`` staging file left behind by a hard crash must
+        not shadow or corrupt the real document."""
+        spec, outcomes = executed
+        path = save_sweeps(tmp_path / "results.json", [(spec, outcomes)])
+        partial = tmp_path / "results.json.abc123.tmp"
+        partial.write_text('{"schema_version": 1, "sweeps": [', encoding="utf-8")
+        (stored,) = load_sweeps(path)
+        assert len(stored.records) == len(outcomes)
+
+    def test_written_file_respects_umask(self, executed, tmp_path):
+        """The staged temp file is 0600; the destination must get the usual
+        umask-derived mode, like a plain write_text would."""
+        import os as os_module
+
+        spec, outcomes = executed
+        umask = os_module.umask(0)
+        os_module.umask(umask)
+        path = save_sweeps(tmp_path / "results.json", [(spec, outcomes)])
+        assert (path.stat().st_mode & 0o777) == (0o666 & ~umask)
+
+    def test_save_stages_in_target_directory(self, executed, tmp_path, monkeypatch):
+        """The temp file must live next to the destination (same filesystem),
+        otherwise os.replace would not be atomic."""
+        import repro.runner.atomic as atomic_module
+
+        spec, outcomes = executed
+        staged_dirs = []
+        original = atomic_module.tempfile.NamedTemporaryFile
+
+        def recording(*args, **kwargs):
+            staged_dirs.append(kwargs.get("dir"))
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(atomic_module.tempfile, "NamedTemporaryFile", recording)
+        save_sweeps(tmp_path / "deep" / "results.json", [(spec, outcomes)])
+        assert staged_dirs == [tmp_path / "deep"]
+
 
 class TestAnalysisLoader:
     def test_load_sweep_records(self, executed, tmp_path):

@@ -199,3 +199,141 @@ class TestSweepCommand:
     def test_sweep_rejects_bad_power_limit(self, capsys):
         assert main(["sweep", "d695_leon", "--power-limits", "half"]) == 1
         assert "invalid power limit" in capsys.readouterr().err
+
+    def test_load_rejects_grid_flags(self, capsys, tmp_path):
+        """--load only prints a stored document; grid flags next to it would
+        silently run nothing and must be rejected."""
+        assert main(["sweep", "--load", str(tmp_path / "r.json"), "--jobs", "4"]) == 1
+        err = capsys.readouterr().err
+        assert "--load" in err and "--jobs" in err
+
+    def test_load_rejects_positional_systems(self, capsys, tmp_path):
+        assert main(["sweep", "d695_leon", "--load", str(tmp_path / "r.json")]) == 1
+        assert "SYSTEM arguments" in capsys.readouterr().err
+
+    def test_resume_requires_store(self, capsys):
+        assert main(["sweep", "d695_leon", "--resume"]) == 1
+        assert "--resume needs --store" in capsys.readouterr().err
+
+
+class TestStoreAndHistoryCommands:
+    @staticmethod
+    def _sweep(store, *extra):
+        return main(
+            [
+                "sweep",
+                "d695_leon",
+                "--counts",
+                "0,2",
+                "--power-limits",
+                "none",
+                "--no-characterize",
+                "--store",
+                str(store),
+                *extra,
+            ]
+        )
+
+    def test_store_then_resume_skips_everything(self, capsys, tmp_path):
+        store = tmp_path / "sweeps.db"
+        assert self._sweep(store) == 0
+        assert "2 executed, 0 skipped" in capsys.readouterr().out
+        assert store.exists()
+
+        assert self._sweep(store, "--resume") == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 2 skipped" in out
+        assert "[resume]" in out
+        assert "163785" in out  # skipped points are still reported from the store
+
+    def test_store_with_out_exports_document(self, capsys, tmp_path):
+        store = tmp_path / "sweeps.db"
+        out_file = tmp_path / "results.json"
+        assert self._sweep(store, "--out", str(out_file)) == 0
+        capsys.readouterr()
+        from repro.runner.store import load_sweeps
+
+        (stored,) = load_sweeps(out_file)
+        assert len(stored.records) == 2
+
+    def test_history_reports_win_rates_and_trajectory(self, capsys, tmp_path):
+        store = tmp_path / "sweeps.db"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "d695_plasma",
+                    "--counts",
+                    "0,6",
+                    "--power-limits",
+                    "none",
+                    "--schedulers",
+                    "greedy,fastest-completion",
+                    "--no-characterize",
+                    "--store",
+                    str(store),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["history", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "Scheduler win-rates" in out
+        assert "Makespan over runs" in out
+        assert "d695_plasma" in out
+
+    def test_history_missing_store_fails(self, capsys, tmp_path):
+        assert main(["history", str(tmp_path / "absent.db")]) == 1
+        assert "no sqlite sweep store" in capsys.readouterr().err
+
+    def test_failed_import_leaves_no_stray_store(self, capsys, tmp_path):
+        """A failed --import-json seed must not leave an empty store behind
+        that would mask the missing-store error on the next invocation."""
+        store = tmp_path / "new.db"
+        assert (
+            main(["history", str(store), "--import-json", str(tmp_path / "nope.json")])
+            == 1
+        )
+        capsys.readouterr()
+        assert not store.exists()
+        assert main(["history", str(store)]) == 1
+        assert "no sqlite sweep store" in capsys.readouterr().err
+
+    def test_history_import_export_round_trip(self, capsys, tmp_path):
+        document = tmp_path / "results.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "d695_leon",
+                    "--counts",
+                    "0",
+                    "--power-limits",
+                    "none",
+                    "--no-characterize",
+                    "--out",
+                    str(document),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        store = tmp_path / "sweeps.db"
+        exported = tmp_path / "exported.json"
+        assert (
+            main(
+                [
+                    "history",
+                    str(store),
+                    "--import-json",
+                    str(document),
+                    "--export-json",
+                    str(exported),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "imported 1 record(s)" in out
+        assert exported.read_bytes() == document.read_bytes()
