@@ -1,0 +1,116 @@
+"""History-aggregation benchmark: SQL-side vs Python-side win-rates/trajectory.
+
+Builds a synthetic 50k-record sqlite store (5 runs x 10k points, several
+systems and both scheduler policies) and times the two history questions both
+ways: the Python path loads every record's JSON out of the store and reduces
+in dictionaries — what ``repro history`` did before the SQL push-down — while
+the SQL path aggregates inside sqlite over the indexed headline columns
+(:meth:`SweepDatabase.win_rate_rows` / :meth:`SweepDatabase.trajectory_rows`).
+Every benchmark asserts the two paths agree exactly, so the timing gap is the
+cost of shipping record JSON into Python, nothing else.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.history import (
+    makespan_trajectory,
+    makespan_trajectory_sql,
+    scheduler_win_rates,
+    scheduler_win_rates_sql,
+)
+from repro.runner.db import SweepDatabase
+from repro.runner.spec import SweepSpec
+
+from conftest import emit
+
+#: 5 runs x 10k points = 50k rows in the ``records`` table.
+POINTS = 10_000
+RUNS = 5
+
+_SYSTEMS = ("d695_leon", "d695_plasma", "p22810_leon", "p93791_plasma")
+_SCHEDULERS = ("greedy", "fastest-completion")
+_POWER_LABELS = ("no power limit", "50% power limit")
+
+
+def _record(index: int, run: int) -> dict:
+    """One synthetic, fully deterministic sweep record.
+
+    Consecutive index pairs share a grid coordinate and differ only in the
+    scheduler, so half the coordinates are genuine win-rate contests; the
+    makespan drifts with ``run`` so the trajectory has real movement.
+    """
+    coordinate = index // len(_SCHEDULERS)
+    return {
+        "index": index,
+        "system": _SYSTEMS[coordinate % len(_SYSTEMS)],
+        "scheduler": _SCHEDULERS[index % len(_SCHEDULERS)],
+        "power_label": _POWER_LABELS[coordinate % len(_POWER_LABELS)],
+        "reused_processors": (coordinate // len(_SYSTEMS)) % 7 or None,
+        "flit_width": 32,
+        "pattern_penalty": None,
+        "makespan": 100_000 + (index * 7919 + run * 104_729) % 50_021,
+    }
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench-history") / "history.db"
+    spec = SweepSpec(name="bench-history", systems=("d695_leon",))
+    with SweepDatabase(path) as db:
+        spec_key = db.ensure_sweep(spec)
+        for run in range(RUNS):
+            records = [_record(index, run) for index in range(POINTS)]
+            db.record_run(spec_key, records, executed=POINTS, skipped=0)
+    db = SweepDatabase(path)
+    yield db
+    db.close()
+
+
+def _python_win_rates(db: SweepDatabase):
+    records = [record for sweep in db.stored_sweeps() for record in sweep.records]
+    return scheduler_win_rates(records)
+
+
+def test_win_rates_python_side(benchmark, store):
+    """The pre-push-down path: load all current record JSON, reduce in Python."""
+    rows = benchmark(_python_win_rates, store)
+    emit(
+        "History benchmark: win-rates, Python side",
+        f"{len(rows)} (system, scheduler) rows from {POINTS} current records",
+    )
+    assert rows == scheduler_win_rates_sql(store)
+
+
+def test_win_rates_sql_side(benchmark, store):
+    """The pushed-down path: the same reduction inside sqlite."""
+    rows = benchmark(scheduler_win_rates_sql, store)
+    emit(
+        "History benchmark: win-rates, SQL side",
+        f"{len(rows)} (system, scheduler) rows from {POINTS} current records",
+    )
+    assert rows == _python_win_rates(store)
+
+
+def _python_trajectory(db: SweepDatabase):
+    return makespan_trajectory(db.history_rows())
+
+
+def test_trajectory_python_side(benchmark, store):
+    rows = benchmark(_python_trajectory, store)
+    emit(
+        "History benchmark: trajectory, Python side",
+        f"{len(rows)} (run, system) rows from {RUNS * POINTS} stored records",
+    )
+    assert rows == makespan_trajectory_sql(store)
+
+
+def test_trajectory_sql_side(benchmark, store):
+    rows = benchmark(makespan_trajectory_sql, store)
+    emit(
+        "History benchmark: trajectory, SQL side",
+        f"{len(rows)} (run, system) rows from {RUNS * POINTS} stored records",
+    )
+    assert len(rows) == RUNS * len(_SYSTEMS)
+    assert rows == _python_trajectory(store)

@@ -91,7 +91,9 @@ def main() -> None:
     benchmark = assign_power(parse_soc(CUSTOM_SOC))
 
     # 2. NoC characterisation: 3x3 mesh, 32-bit flits, HERMES-like latencies.
-    noc = NocConfig(width=3, height=3, flit_width=32, routing_latency=4, flow_control_latency=1)
+    noc = NocConfig(
+        width=3, height=3, flit_width=32, routing_latency=4, flow_control_latency=1
+    )
 
     # 3. Processor characterisation: a Leon with a hand-tuned BIST kernel that
     #    needs only 6 cycles per pattern, plus a stock Plasma.
@@ -116,8 +118,10 @@ def main() -> None:
     reuse = planner.plan(power_limit_fraction=0.6)
 
     print(f"External-tester-only test time : {baseline.makespan} cycles")
-    print(f"With both processors reused    : {reuse.makespan} cycles "
-          f"(60 % power ceiling)")
+    print(
+        f"With both processors reused    : {reuse.makespan} cycles "
+        f"(60 % power ceiling)"
+    )
     print()
     print(schedule_report(reuse))
     print()

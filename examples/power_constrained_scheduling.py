@@ -29,8 +29,10 @@ def main() -> None:
     print()
 
     fractions = [0.25, 0.35, 0.5, 0.75, 1.0, None]
-    print(f"{'power ceiling':>16}  {'test time':>10}  {'peak power':>11}  "
-          f"{'avg parallelism':>16}")
+    print(
+        f"{'power ceiling':>16}  {'test time':>10}  {'peak power':>11}  "
+        f"{'avg parallelism':>16}"
+    )
     baseline = None
     for fraction in fractions:
         label = "no limit" if fraction is None else f"{fraction:.0%} of total"

@@ -51,8 +51,10 @@ def main() -> None:
     print()
     best_bist = max(row[2] for row in bist_rows)
     best_dec = max(row[2] for row in decompression_rows)
-    print(f"Best reduction with the BIST application     : {best_bist:.1f}% "
-          f"(paper reports up to 44%)")
+    print(
+        f"Best reduction with the BIST application     : {best_bist:.1f}% "
+        f"(paper reports up to 44%)"
+    )
     print(f"Best reduction with software decompression   : {best_dec:.1f}%")
     print()
     print("The sweep also shows the saturation the paper observes: past a few")

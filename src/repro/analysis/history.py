@@ -11,8 +11,15 @@ history:
   mean makespan, ordered by the store's run sequence (the perf record of the
   workload, analogous to CI's ``BENCH_*.json`` artifacts).
 
-``repro history`` renders these as plain-text tables via
-:func:`history_report`.
+Both questions exist in two forms: the pure-Python reducers
+(:func:`scheduler_win_rates`, :func:`makespan_trajectory`) that work on any
+iterable of records — loaded JSON documents included — and their SQL twins
+(:func:`scheduler_win_rates_sql`, :func:`makespan_trajectory_sql`) that
+aggregate *inside* the sqlite store over the indexed headline columns and
+return exactly the same rows (the equality is pinned by tests;
+``benchmarks/bench_history.py`` tracks the speed gap).  ``repro history``
+renders the SQL side as plain-text tables via :func:`history_report`, so its
+cost no longer scales with loading every record's JSON.
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 from repro.runner.db import SweepDatabase
-from repro.analysis.sweeps import stored_sweep_summary
+from repro.analysis.sweeps import sweep_summary
 
 
 @dataclass(frozen=True)
@@ -100,6 +107,19 @@ def scheduler_win_rates(records: Iterable[Mapping]) -> list[WinRateRow]:
     )
 
 
+def scheduler_win_rates_sql(
+    db: SweepDatabase, *, system: str | None = None
+) -> list[WinRateRow]:
+    """SQL-side :func:`scheduler_win_rates` over a store's current records.
+
+    Equal — row for row — to running :func:`scheduler_win_rates` on the
+    flattened records of ``db.stored_sweeps()``, but the aggregation happens
+    inside sqlite (:meth:`~repro.runner.db.SweepDatabase.win_rate_rows`), so
+    no record JSON is loaded into Python.
+    """
+    return [WinRateRow(**row) for row in db.win_rate_rows(system=system)]
+
+
 @dataclass(frozen=True)
 class TrajectoryRow:
     """One system's makespan summary within one run (the time axis)."""
@@ -135,6 +155,31 @@ def makespan_trajectory(history_rows: Iterable[Mapping]) -> list[TrajectoryRow]:
             mean_makespan=sum(spans) / len(spans),
         )
         for (run_id, created_at, sweep_name, system), spans in sorted(grouped.items())
+    ]
+
+
+def makespan_trajectory_sql(
+    db: SweepDatabase, *, system: str | None = None
+) -> list[TrajectoryRow]:
+    """SQL-side :func:`makespan_trajectory` over a store's full run history.
+
+    Equal — row for row — to feeding ``db.history_rows()`` through
+    :func:`makespan_trajectory`, but grouped and reduced inside sqlite
+    (:meth:`~repro.runner.db.SweepDatabase.trajectory_rows`).  The mean is
+    computed here from the SQL sum and count, with the same integer-exact
+    division as the pure-Python path.
+    """
+    return [
+        TrajectoryRow(
+            run_id=row["run_id"],
+            created_at=row["created_at"],
+            sweep_name=row["sweep_name"],
+            system=row["system"],
+            record_count=row["record_count"],
+            best_makespan=row["best_makespan"],
+            mean_makespan=row["total_makespan"] / row["record_count"],
+        )
+        for row in db.trajectory_rows(system=system)
     ]
 
 
@@ -195,26 +240,32 @@ def trajectory_table(rows: Sequence[TrajectoryRow]) -> str:
 def history_report(db: SweepDatabase, *, system: str | None = None) -> str:
     """The full ``repro history`` report for one store.
 
+    Every section is served from SQL aggregates — sweep summaries from spec
+    rows plus counts, win-rates and the trajectory from the pushed-down
+    queries — so the report never loads record JSON, no matter how large
+    the store has grown.
+
     Args:
         db: an open sweep database.
         system: restrict win-rates and the trajectory to one paper system.
     """
-    sweeps = db.stored_sweeps()
-    records = [record for sweep in sweeps for record in sweep.records]
-    rows = list(db.history_rows())
-    if system is not None:
-        wanted = system.lower()
-        records = [r for r in records if r.get("system") == wanted]
-        rows = [r for r in rows if r["record"].get("system") == wanted]
+    wanted = system.lower() if system is not None else None
+    summaries = db.sweep_summaries()
 
     sections = [f"Sweep store: {db.path} ({db.record_count()} records)"]
-    if sweeps:
-        sections.append("\n".join(stored_sweep_summary(sweep) for sweep in sweeps))
+    if summaries:
+        sections.append(
+            "\n".join(
+                sweep_summary(spec, spec_key, count)
+                for spec, spec_key, count in summaries
+            )
+        )
     sections.append(
         "Scheduler win-rates (best makespan per shared grid coordinate):\n"
-        + win_rate_table(scheduler_win_rates(records))
+        + win_rate_table(scheduler_win_rates_sql(db, system=wanted))
     )
     sections.append(
-        "Makespan over runs:\n" + trajectory_table(makespan_trajectory(rows))
+        "Makespan over runs:\n"
+        + trajectory_table(makespan_trajectory_sql(db, system=wanted))
     )
     return "\n\n".join(sections)

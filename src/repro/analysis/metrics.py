@@ -45,7 +45,9 @@ def compute_metrics(result: ScheduleResult) -> ScheduleMetrics:
     makespan = result.makespan
     busy = result.interface_busy_cycles()
     utilisation = {
-        interface.identifier: (busy.get(interface.identifier, 0) / makespan if makespan else 0.0)
+        interface.identifier: (
+            busy.get(interface.identifier, 0) / makespan if makespan else 0.0
+        )
         for interface in result.interfaces
     }
     external_ids = {

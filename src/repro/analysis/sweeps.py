@@ -70,12 +70,22 @@ def records_table(records: Sequence[Mapping], *, title: str = "Sweep results") -
     return "\n".join(lines)
 
 
+def sweep_summary(spec, spec_key: str, record_count: int) -> str:
+    """One-line sweep summary from the spec and a record count alone.
+
+    Works without the records themselves, so callers holding only counts —
+    e.g. :meth:`repro.runner.db.SweepDatabase.sweep_summaries`, which never
+    loads record JSON — can render the same line as :func:`stored_sweep_summary`.
+    """
+    return (
+        f"{spec.name}: {record_count} records "
+        f"({len(spec.systems)} systems x "
+        f"{len(spec.processor_counts)} reuse levels x "
+        f"{len(spec.power_limits)} power series x "
+        f"{len(spec.schedulers)} schedulers), spec {spec_key[:12]}"
+    )
+
+
 def stored_sweep_summary(sweep: StoredSweep) -> str:
     """One-line summary of a stored sweep (name, grid size, spec key)."""
-    return (
-        f"{sweep.spec.name}: {len(sweep.records)} records "
-        f"({len(sweep.spec.systems)} systems x "
-        f"{len(sweep.spec.processor_counts)} reuse levels x "
-        f"{len(sweep.spec.power_limits)} power series x "
-        f"{len(sweep.spec.schedulers)} schedulers), spec {sweep.spec_key[:12]}"
-    )
+    return sweep_summary(sweep.spec, sweep.spec_key, len(sweep.records))

@@ -19,11 +19,16 @@ Installed as ``repro-noctest`` (see ``pyproject.toml``) and runnable as
   power limits × schedulers) through the parallel sweep engine, with
   build/characterisation caching (``--jobs``, ``--cache-dir``), a
   schema-versioned JSON result store (``--out``, re-printable via
-  ``--load``) and a durable sqlite store with incremental re-runs
-  (``--store``, ``--resume``).
+  ``--load``), a durable sqlite store with incremental re-runs
+  (``--store``, ``--resume``) and sharded execution of one deterministic
+  slice of each grid (``--shard-index``/``--shard-count``, for distributing
+  a sweep across hosts or CI jobs).
+* ``merge OUT SHARD...`` — fold sharded sqlite stores back into one
+  database; merging every shard of a grid yields a store whose exported
+  document (``--export-json``) is byte-identical to a serial full run's.
 * ``history DB`` — cross-run queries over a sqlite sweep store (scheduler
-  win-rates, makespan over time) plus the JSON↔sqlite migration path
-  (``--import-json``, ``--export-json``).
+  win-rates, makespan over time, aggregated in SQL) plus the JSON↔sqlite
+  migration path (``--import-json``, ``--export-json``).
 * ``export-soc DIRECTORY`` — write the embedded benchmarks as ``.soc`` files.
 """
 
@@ -190,6 +195,8 @@ _SWEEP_RUN_OPTIONS: tuple[tuple[str, str], ...] = (
     ("no_characterize", "--no-characterize"),
     ("store", "--store"),
     ("resume", "--resume"),
+    ("shard_index", "--shard-index"),
+    ("shard_count", "--shard-count"),
 )
 
 
@@ -219,8 +226,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print()
         return 0
     if args.resume and not args.store:
-        raise ConfigurationError("--resume needs --store: there is no sqlite store "
-                                 "to resume from")
+        raise ConfigurationError(
+            "--resume needs --store: there is no sqlite store to resume from"
+        )
+    if (args.shard_index is None) != (args.shard_count is None):
+        raise ConfigurationError(
+            "--shard-index and --shard-count go together: one names the shard, "
+            "the other the partition size"
+        )
+    if args.shard_count is not None and not args.store:
+        raise ConfigurationError(
+            "--shard-index/--shard-count need --store: shard results must land "
+            "in a sqlite store so `repro merge` can fold the shards together"
+        )
 
     systems = args.systems or sorted(PAPER_SYSTEMS)
     schedulers = tuple(token.strip() for token in args.schedulers.split(",") if token.strip())
@@ -260,6 +278,15 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             )
         )
 
+    # Computed before executing anything so an out-of-range shard index
+    # fails fast instead of after the first grid ran.
+    if args.shard_count is not None:
+        planned_points = sum(
+            len(spec.shard(args.shard_index, args.shard_count)) for spec in specs
+        )
+    else:
+        planned_points = sum(spec.point_count for spec in specs)
+
     if args.store:
         _run_sweeps_stored(args, runner, specs)
     else:
@@ -270,7 +297,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(
         f"cache: {build_stats.misses} system builds ({build_stats.hits} hits), "
         f"{char_stats.misses} NoC characterisations ({char_stats.hits} hits) "
-        f"for {sum(spec.point_count for spec in specs)} grid points "
+        f"for {planned_points} grid points "
         f"on {runner.jobs} worker(s)"
     )
     return 0
@@ -306,12 +333,22 @@ def _run_sweeps_plain(
 def _run_sweeps_stored(
     args: argparse.Namespace, runner: SweepRunner, specs: Sequence[SweepSpec]
 ) -> None:
-    """Execute every spec against the sqlite store, resuming when asked."""
+    """Execute every spec (or one shard of it) against the sqlite store."""
+    sharded = args.shard_count is not None
     executed = skipped = 0
     with SweepDatabase(args.store) as db:
         reports = []
         for spec in specs:
-            report = runner.run_stored(spec, db, resume=args.resume)
+            if sharded:
+                report = runner.run_shard(
+                    spec,
+                    db,
+                    shard_index=args.shard_index,
+                    shard_count=args.shard_count,
+                    resume=args.resume,
+                )
+            else:
+                report = runner.run_stored(spec, db, resume=args.resume)
             reports.append(report)
             executed += report.executed_count
             skipped += report.skipped_count
@@ -326,8 +363,61 @@ def _run_sweeps_stored(
     print(
         f"store {args.store}: {executed} executed, {skipped} skipped "
         f"across {len(specs)} sweep(s)"
+        + (f" [shard {args.shard_index}/{args.shard_count}]" if sharded else "")
         + (" [resume]" if args.resume else "")
     )
+
+
+def _remove_store_files(path: Path) -> None:
+    """Delete a sqlite store and its WAL sidecar files, ignoring misses."""
+    for leftover in (path, Path(f"{path}-wal"), Path(f"{path}-shm")):
+        with contextlib.suppress(OSError):
+            leftover.unlink()
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    output = Path(args.output)
+    shard_paths = [Path(raw) for raw in args.shards]
+    for shard_path in shard_paths:
+        # Opening a missing path would silently create an empty store and
+        # "merge" nothing; a mistyped shard name must fail loudly instead.
+        if not shard_path.exists():
+            raise ResultStoreError(f"no sqlite sweep store at {shard_path}")
+    preexisting = output.exists()
+    merged = False
+    try:
+        with contextlib.ExitStack() as stack:
+            out = stack.enter_context(SweepDatabase(output))
+            shards = [
+                stack.enter_context(SweepDatabase(path)) for path in shard_paths
+            ]
+            # merge_all validates every shard (against the store AND against
+            # each other) before writing, so a conflict anywhere leaves a
+            # pre-existing output store untouched.
+            reports = out.merge_all(shards)
+            merged = True
+            for shard_path, report in zip(shard_paths, reports):
+                print(
+                    f"merged {shard_path}: {report.inserted} record(s) added, "
+                    f"{report.identical} identical ({len(report.spec_keys)} sweep(s))"
+                )
+            if args.export_json:
+                written = out.export_document(args.export_json)
+                print(f"wrote {written}")
+            print(
+                f"store {output}: {out.record_count()} records after merging "
+                f"{len(shard_paths)} store(s) "
+                f"({sum(r.inserted for r in reports)} added, "
+                f"{sum(r.identical for r in reports)} identical)"
+            )
+    except BaseException:
+        # A failed merge into a fresh output must not leave a stray empty
+        # store behind — but once the merge has committed, the store is the
+        # user's data and survives a later failure (e.g. a bad export path).
+        if not preexisting and not merged:
+            _remove_store_files(output)
+        raise
+    return 0
 
 
 def _cmd_history(args: argparse.Namespace) -> int:
@@ -354,9 +444,7 @@ def _cmd_history(args: argparse.Namespace) -> int:
             # A failed seeding import must not leave a stray empty store
             # behind: it would satisfy the existence check above and mask
             # the real "no store yet" state on the next invocation.
-            for leftover in (path, Path(f"{path}-wal"), Path(f"{path}-shm")):
-                with contextlib.suppress(OSError):
-                    leftover.unlink()
+            _remove_store_files(path)
         raise
     return 0
 
@@ -505,6 +593,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --store: skip grid points the store already holds and "
         "execute only the missing ones",
     )
+    sweep.add_argument(
+        "--shard-index",
+        type=int,
+        default=None,
+        metavar="I",
+        help="with --shard-count: run only shard I (0-based) of each grid",
+    )
+    sweep.add_argument(
+        "--shard-count",
+        type=int,
+        default=None,
+        metavar="N",
+        help="partition each grid into N deterministic shards (needs --store; "
+        "fold the shard stores together with `repro merge`)",
+    )
     sweep.set_defaults(
         handler=_cmd_sweep,
         _sweep_run_defaults={
@@ -512,6 +615,31 @@ def build_parser() -> argparse.ArgumentParser:
             for attribute, _ in _SWEEP_RUN_OPTIONS
         },
     )
+
+    merge = subparsers.add_parser(
+        "merge",
+        help="merge sharded sqlite sweep stores into one database",
+        description="Fold the sqlite stores written by `repro sweep "
+        "--shard-index/--shard-count --store` (or any --store runs) into "
+        "OUT_DB.  Overlapping records that are byte-identical are skipped, "
+        "so re-merging a shard is a no-op; conflicting records abort the "
+        "merge.  Merging every shard of a grid yields a store whose "
+        "--export-json document is byte-identical to a serial full run's.",
+    )
+    merge.add_argument("output", metavar="OUT_DB", help="target sqlite store")
+    merge.add_argument(
+        "shards",
+        nargs="+",
+        metavar="SHARD_DB",
+        help="sqlite shard stores to fold in, in order",
+    )
+    merge.add_argument(
+        "--export-json",
+        default=None,
+        metavar="FILE",
+        help="export the merged store as a schema-v1 JSON result document",
+    )
+    merge.set_defaults(handler=_cmd_merge)
 
     history = subparsers.add_parser(
         "history",

@@ -80,7 +80,9 @@ class Network:
         """Channel width in bits."""
         return self.config.flit_width
 
-    def route(self, source: NodeCoordinate, destination: NodeCoordinate) -> list[NodeCoordinate]:
+    def route(
+        self, source: NodeCoordinate, destination: NodeCoordinate
+    ) -> list[NodeCoordinate]:
         """Node sequence of the XY route from ``source`` to ``destination``."""
         return self.routing.route(source, destination)
 

@@ -20,7 +20,9 @@ class XYRouting:
 
     topology: GridTopology
 
-    def route(self, source: NodeCoordinate, destination: NodeCoordinate) -> list[NodeCoordinate]:
+    def route(
+        self, source: NodeCoordinate, destination: NodeCoordinate
+    ) -> list[NodeCoordinate]:
         """Return the node sequence from ``source`` to ``destination`` inclusive.
 
         The returned list always starts with ``source`` and ends with

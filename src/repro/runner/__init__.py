@@ -6,7 +6,11 @@ or on a process pool, always in deterministic point order), and persist the
 outcome as schema-versioned JSON with :func:`save_sweeps` /
 :func:`load_sweeps` or durably in a :class:`SweepDatabase` sqlite store
 (crash-safe, accumulates across runs, and enables incremental re-runs via
-:meth:`SweepRunner.run_stored`).  The paper's experiment drivers
+:meth:`SweepRunner.run_stored`).  Grids also execute sharded: each
+deterministic shard of the point order (:meth:`SweepSpec.shard`) runs
+anywhere via :meth:`SweepRunner.run_shard` into its own store, and
+:meth:`SweepDatabase.merge` folds the shard stores back into one database
+record-identical to a single-host run.  The paper's experiment drivers
 (:mod:`repro.experiments`) and the ``repro sweep`` CLI are thin layers over
 this package.
 
@@ -33,7 +37,7 @@ from repro.runner.cache import (
     build_point_system,
     content_key,
 )
-from repro.runner.db import DB_SCHEMA_VERSION, RunInfo, SweepDatabase
+from repro.runner.db import DB_SCHEMA_VERSION, MergeReport, RunInfo, SweepDatabase
 from repro.runner.engine import (
     StoreRunReport,
     SweepOutcome,
@@ -69,6 +73,7 @@ __all__ = [
     "build_point_system",
     "content_key",
     "DB_SCHEMA_VERSION",
+    "MergeReport",
     "RunInfo",
     "SweepDatabase",
     "StoreRunReport",

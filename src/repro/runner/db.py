@@ -6,7 +6,16 @@ single sqlite file, indexed by ``(spec_key, point_index)``, so interrupted or
 extended sweeps can resume (see :meth:`repro.runner.engine.SweepRunner.run_stored`)
 and cross-run questions — scheduler win-rates, makespan over time — stay
 queryable long after the runs that produced them
-(:mod:`repro.analysis.history`).
+(:mod:`repro.analysis.history`).  Those history aggregations run *inside*
+sqlite (:meth:`SweepDatabase.win_rate_rows` /
+:meth:`SweepDatabase.trajectory_rows`), so they scale to stores with
+millions of records without loading record JSON into Python.
+
+Stores also compose: :meth:`SweepDatabase.merge` folds the per-shard stores
+written by :meth:`repro.runner.engine.SweepRunner.run_shard` back into one
+database — idempotent for identical overlaps, refusing conflicting records —
+such that an N-shard run merges into a store byte-identical (via
+:meth:`export_document`) to a serial full run's.
 
 Layout (``schema v2``; v1 is the JSON document format):
 
@@ -94,6 +103,22 @@ class RunInfo:
     executed_points: int
     skipped_points: int
     created_at: str
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """The outcome of folding one store into another (:meth:`SweepDatabase.merge`).
+
+    Attributes:
+        spec_keys: spec keys of the source store's sweeps, in its order.
+        inserted: records newly added to the target store.
+        identical: records skipped because the target already held a
+            byte-identical current record for their point.
+    """
+
+    spec_keys: tuple[str, ...]
+    inserted: int
+    identical: int
 
 
 def _canonical_record_json(record: Mapping) -> str:
@@ -277,8 +302,8 @@ class SweepDatabase:
             ).fetchone()
         return int(row["n"])
 
-    def stored_sweep(self, spec_key: str) -> StoredSweep:
-        """One sweep with its records, integrity-checked.
+    def _load_spec(self, spec_key: str) -> SweepSpec:
+        """Load one sweep's spec, verifying it still hashes to its key.
 
         Raises:
             ResultStoreError: for an unknown key, or when the stored spec no
@@ -305,6 +330,16 @@ class SweepDatabase:
                 f"{spec_key[:12]}... but its spec hashes to "
                 f"{spec.content_key()[:12]}...; refusing the inconsistent store"
             )
+        return spec
+
+    def stored_sweep(self, spec_key: str) -> StoredSweep:
+        """One sweep with its records, integrity-checked.
+
+        Raises:
+            ResultStoreError: for an unknown key, or when the stored spec no
+                longer hashes to its key (a tampered or corrupted store).
+        """
+        spec = self._load_spec(spec_key)
         return StoredSweep(
             spec=spec, spec_key=spec_key, records=tuple(self.records(spec_key))
         )
@@ -312,6 +347,167 @@ class SweepDatabase:
     def stored_sweeps(self) -> list[StoredSweep]:
         """Every sweep of the store with its records, integrity-checked."""
         return [self.stored_sweep(spec_key) for spec_key in self.spec_keys()]
+
+    def sweep_summaries(self) -> list[tuple[SweepSpec, str, int]]:
+        """``(spec, spec_key, current record count)`` per sweep, in store order.
+
+        Integrity-checks each spec like :meth:`stored_sweep` but never loads
+        record JSON — cheap even on stores with millions of records.
+        """
+        return [
+            (self._load_spec(spec_key), spec_key, self.record_count(spec_key))
+            for spec_key in self.spec_keys()
+        ]
+
+    # ------------------------------------------------------------------
+    # Merging (the single-host end of sharded execution).
+    # ------------------------------------------------------------------
+    def merge(
+        self,
+        other: "SweepDatabase",
+        *,
+        expect_spec_key: str | None = None,
+        source: str | None = None,
+    ) -> MergeReport:
+        """Fold another store's current records into this one.
+
+        For every sweep of ``other`` (integrity-checked: each stored spec
+        must still hash to its key), the sweep is registered here and its
+        *current* records — each point's latest run — are folded in:
+
+        * a point this store does not hold is **inserted**;
+        * a point whose stored record is byte-identical to the incoming one
+          is **skipped**, so merging the same shard twice is a no-op;
+        * a point whose record **differs** raises :class:`ResultStoreError`
+          before anything is written — conflicting shards never mix.
+
+        Each merged sweep that contributes new records lands as one new run
+        (source ``merge:<other's filename>``), so the history time axis
+        records the merge; sweeps whose records were all already present add
+        no run row.  ``other`` is never modified.
+
+        This is the reduce step of sharded execution: merging the shard
+        stores written by :meth:`SweepRunner.run_shard
+        <repro.runner.engine.SweepRunner.run_shard>` for every shard of a
+        grid yields a store whose :meth:`export_document` output is
+        byte-identical to a serial full run's.
+
+        To fold several stores with all-or-nothing semantics across the
+        whole batch, use :meth:`merge_all`.
+
+        Args:
+            other: the source store.
+            expect_spec_key: when set, every sweep of ``other`` must carry
+                this spec key — merging a shard of a different grid aborts.
+            source: override for the runs-table source label.
+
+        Raises:
+            ResultStoreError: for a spec-key mismatch, a conflicting
+                record, or a source store that fails its integrity checks.
+        """
+        planned = self._plan_merge({}, other, expect_spec_key)
+        return self._commit_merge(
+            planned, source if source is not None else f"merge:{other.path.name}"
+        )
+
+    def merge_all(
+        self,
+        others: Sequence["SweepDatabase"],
+        *,
+        expect_spec_key: str | None = None,
+    ) -> tuple[MergeReport, ...]:
+        """Fold several stores in, validating ALL of them before writing.
+
+        Unlike calling :meth:`merge` per store, a conflict in any source —
+        against this store *or between two sources* — aborts before a
+        single record lands, so a failed multi-shard merge leaves the
+        target exactly as it was.  Returns one :class:`MergeReport` per
+        source, in order.
+
+        Raises:
+            ResultStoreError: as :meth:`merge`; nothing is written when
+                raised.
+        """
+        state: dict[str, dict[int, str]] = {}
+        plans = [self._plan_merge(state, other, expect_spec_key) for other in others]
+        return tuple(
+            self._commit_merge(planned, f"merge:{other.path.name}")
+            for other, planned in zip(others, plans)
+        )
+
+    def _plan_merge(
+        self,
+        state: dict[str, dict[int, str]],
+        other: "SweepDatabase",
+        expect_spec_key: str | None,
+    ) -> list[tuple[StoredSweep, list[Mapping], int]]:
+        """Validate one source against this store plus already-planned inserts.
+
+        ``state`` maps spec keys to the canonical record JSON per point —
+        seeded from this store on first touch and extended with planned
+        inserts, so conflicts between sources sharing a ``state`` surface
+        during planning.
+        """
+        planned: list[tuple[StoredSweep, list[Mapping], int]] = []
+        for sweep in other.stored_sweeps():
+            if expect_spec_key is not None and sweep.spec_key != expect_spec_key:
+                raise ResultStoreError(
+                    f"cannot merge {other.path}: sweep {sweep.spec.name!r} has "
+                    f"spec key {sweep.spec_key[:12]}..., expected "
+                    f"{expect_spec_key[:12]}... (a shard of a different grid)"
+                )
+            # Not setdefault: its default argument is evaluated eagerly, and
+            # loading the target's current records must happen once per spec
+            # key, not once per source store.
+            if sweep.spec_key not in state:
+                state[sweep.spec_key] = {
+                    int(record["index"]): _canonical_record_json(record)
+                    for record in self.records(sweep.spec_key)
+                }
+            current = state[sweep.spec_key]
+            fresh: list[Mapping] = []
+            identical = 0
+            for record in sweep.records:
+                index = int(record["index"])
+                incoming = _canonical_record_json(record)
+                mine = current.get(index)
+                if mine is None:
+                    fresh.append(record)
+                    current[index] = incoming
+                elif mine == incoming:
+                    identical += 1
+                else:
+                    raise ResultStoreError(
+                        f"cannot merge {other.path} into {self._path}: sweep "
+                        f"{sweep.spec.name!r} point {index} conflicts with the "
+                        "record already stored; refusing to mix diverging results"
+                    )
+            planned.append((sweep, fresh, identical))
+        return planned
+
+    def _commit_merge(
+        self, planned: Sequence[tuple[StoredSweep, list[Mapping], int]], label: str
+    ) -> MergeReport:
+        """Commit a validated merge plan.  A sweep with nothing new still
+        gets registered so empty shards keep the exported sweep list intact."""
+        inserted = identical_total = 0
+        for sweep, fresh, identical in planned:
+            self.ensure_sweep(sweep.spec)
+            if fresh:
+                self.record_run(
+                    sweep.spec_key,
+                    fresh,
+                    executed=len(fresh),
+                    skipped=identical,
+                    source=label,
+                )
+            inserted += len(fresh)
+            identical_total += identical
+        return MergeReport(
+            spec_keys=tuple(sweep.spec_key for sweep, _, _ in planned),
+            inserted=inserted,
+            identical=identical_total,
+        )
 
     # ------------------------------------------------------------------
     # History.
@@ -357,6 +553,109 @@ class SweepDatabase:
                 "sweep_name": row["name"],
                 "record": json.loads(row["record_json"]),
             }
+
+    def win_rate_rows(self, *, system: str | None = None) -> list[dict]:
+        """Per-``(system, scheduler)`` win-rate counters, aggregated in SQL.
+
+        Mirrors :func:`repro.analysis.history.scheduler_win_rates` over the
+        store's current records exactly (the equality is pinned by tests),
+        but the whole reduction — best makespan per (coordinate, scheduler),
+        contest detection, win/tie tallies — runs inside sqlite over the
+        indexed headline columns, so record JSON never reaches Python.  The
+        two coordinate components the ``records`` table does not index
+        (flit width, pattern penalty) are pulled via ``json_extract``.
+
+        Returns dicts with keys ``system``, ``scheduler``, ``contests``,
+        ``wins`` and ``ties``, ordered by system, then descending win rate,
+        then scheduler.
+        """
+        rows = self._connection.execute(
+            """
+            WITH latest AS (
+                SELECT spec_key, point_index, MAX(run_id) AS run_id
+                FROM records
+                GROUP BY spec_key, point_index
+            ),
+            current AS (
+                SELECT records.system, records.reused_processors,
+                       records.power_label,
+                       json_extract(records.record_json, '$.flit_width')
+                           AS flit_width,
+                       json_extract(records.record_json, '$.pattern_penalty')
+                           AS pattern_penalty,
+                       records.scheduler, records.makespan
+                FROM records
+                JOIN latest ON records.spec_key = latest.spec_key
+                           AND records.point_index = latest.point_index
+                           AND records.run_id = latest.run_id
+                WHERE (:system IS NULL OR records.system = :system)
+            ),
+            best AS (
+                SELECT system, reused_processors, power_label, flit_width,
+                       pattern_penalty, scheduler, MIN(makespan) AS makespan
+                FROM current
+                GROUP BY system, reused_processors, power_label, flit_width,
+                         pattern_penalty, scheduler
+            ),
+            ranked AS (
+                SELECT *, COUNT(*) OVER coordinate AS policies,
+                       MIN(makespan) OVER coordinate AS winning
+                FROM best
+                WINDOW coordinate AS (
+                    PARTITION BY system, reused_processors, power_label,
+                                 flit_width, pattern_penalty
+                )
+            ),
+            tallied AS (
+                SELECT *, SUM(makespan = winning) OVER coordinate AS winners
+                FROM ranked
+                WINDOW coordinate AS (
+                    PARTITION BY system, reused_processors, power_label,
+                                 flit_width, pattern_penalty
+                )
+            )
+            SELECT system, scheduler,
+                   COUNT(*) AS contests,
+                   SUM(makespan = winning) AS wins,
+                   SUM(makespan = winning AND winners > 1) AS ties
+            FROM tallied
+            WHERE policies >= 2
+            GROUP BY system, scheduler
+            ORDER BY system,
+                     CAST(SUM(makespan = winning) AS REAL) / COUNT(*) DESC,
+                     scheduler
+            """,
+            {"system": system},
+        )
+        return [dict(row) for row in rows]
+
+    def trajectory_rows(self, *, system: str | None = None) -> list[dict]:
+        """Per-run, per-system makespan summaries, aggregated in SQL.
+
+        The SQL twin of feeding :meth:`history_rows` through
+        :func:`repro.analysis.history.makespan_trajectory` (equality pinned
+        by tests): grouped by run and system over *all* stored runs — the
+        history time axis — without loading record JSON.  ``total_makespan``
+        is returned instead of a mean so the caller can divide in Python
+        and match the pure-Python float arithmetic bit for bit.
+        """
+        rows = self._connection.execute(
+            """
+            SELECT runs.run_id AS run_id, runs.created_at AS created_at,
+                   sweeps.name AS sweep_name, records.system AS system,
+                   COUNT(*) AS record_count,
+                   MIN(records.makespan) AS best_makespan,
+                   SUM(records.makespan) AS total_makespan
+            FROM records
+            JOIN runs ON records.run_id = runs.run_id
+            JOIN sweeps ON records.spec_key = sweeps.spec_key
+            WHERE (:system IS NULL OR records.system = :system)
+            GROUP BY runs.run_id, runs.created_at, sweeps.name, records.system
+            ORDER BY runs.run_id, runs.created_at, sweeps.name, records.system
+            """,
+            {"system": system},
+        )
+        return [dict(row) for row in rows]
 
     # ------------------------------------------------------------------
     # JSON migration path.

@@ -6,6 +6,12 @@ output order is the spec's point order in both modes — the pool maps over the
 points with order-preserving ``map``, so a parallel run is byte-for-byte
 equivalent to a serial one (see ``tests/runner/test_engine.py``).
 
+Grids can also be executed in pieces: :meth:`SweepRunner.run_shard` runs one
+deterministic shard of the point order (``SweepSpec.shard``) into its own
+sqlite store, and :meth:`repro.runner.db.SweepDatabase.merge` folds the shard
+stores back into a single database record-identical to a full single-host
+run — the building block of distributed sweeps.
+
 System builds go through a :class:`~repro.runner.cache.SystemCache` — one
 build per SoC instead of one per point; parallel runs pre-build in the
 parent and hand workers the warm cache through the pool initializer — and
@@ -117,12 +123,15 @@ class StoreRunReport:
     Attributes:
         spec: the grid that was run.
         spec_key: the spec's content key in the store.
-        records: every record of the grid, in point order, as now stored —
-            freshly executed points merged with previously stored ones.
+        records: every record the store now holds for the spec, in point
+            order — freshly executed points merged with previously stored
+            ones (for a shard run, the shard's points only).
         executed_indices: point indices executed by this run.
         skipped_indices: point indices skipped because the store already
             held their records (always empty without ``resume``).
         run_id: the store's id for this run (the history time axis).
+        shard: ``(shard_index, shard_count)`` for a :meth:`SweepRunner.run_shard`
+            invocation, ``None`` for a full-grid run.
     """
 
     spec: SweepSpec
@@ -131,6 +140,7 @@ class StoreRunReport:
     executed_indices: tuple[int, ...]
     skipped_indices: tuple[int, ...]
     run_id: int
+    shard: tuple[int, int] | None = None
 
     @property
     def executed_count(self) -> int:
@@ -206,8 +216,62 @@ class SweepRunner:
         The executed records are committed to the store in one transaction
         together with a ``runs`` row holding the executed/skipped counters.
         """
+        return self._run_into_store(
+            spec, store, spec.points(), resume=resume, source="sweep", shard=None
+        )
+
+    def run_shard(
+        self,
+        spec: SweepSpec,
+        store: "SweepDatabase",
+        *,
+        shard_index: int,
+        shard_count: int,
+        strategy: str = "contiguous",
+        resume: bool = False,
+    ) -> StoreRunReport:
+        """Execute one shard of ``spec`` into ``store`` (typically its own file).
+
+        The shard is ``spec.shard(shard_index, shard_count, strategy=...)`` —
+        a deterministic slice of the grid's point order that keeps every
+        point's global index.  Each shard can therefore run on a different
+        host into its own :class:`~repro.runner.db.SweepDatabase`, and
+        folding the shard stores back together with
+        :meth:`SweepDatabase.merge <repro.runner.db.SweepDatabase.merge>`
+        yields a store record-identical to a single-host
+        :meth:`run_stored` of the full grid (the exported schema-v1
+        document is byte-for-byte the same).
+
+        ``resume`` behaves as in :meth:`run_stored`, restricted to the
+        shard's points.  The run lands with source ``shard:<index>/<count>``
+        so the store's history records which shard produced it.
+
+        Raises:
+            ConfigurationError: for an invalid shard index/count/strategy
+                (see :meth:`SweepSpec.shard <repro.runner.spec.SweepSpec.shard>`).
+        """
+        points = spec.shard(shard_index, shard_count, strategy=strategy)
+        return self._run_into_store(
+            spec,
+            store,
+            points,
+            resume=resume,
+            source=f"shard:{shard_index}/{shard_count}",
+            shard=(shard_index, shard_count),
+        )
+
+    def _run_into_store(
+        self,
+        spec: SweepSpec,
+        store: "SweepDatabase",
+        points: Sequence[SweepPoint],
+        *,
+        resume: bool,
+        source: str,
+        shard: tuple[int, int] | None,
+    ) -> StoreRunReport:
+        """Execute ``points`` of ``spec`` against ``store`` and commit one run."""
         spec_key = store.ensure_sweep(spec)
-        points = spec.points()
         existing = self._reusable_indices(store, spec_key) if resume else frozenset()
         pending = tuple(point for point in points if point.index not in existing)
         outcomes = self._run_points(pending)
@@ -216,16 +280,25 @@ class SweepRunner:
             [outcome.record() for outcome in outcomes],
             executed=len(pending),
             skipped=len(points) - len(pending),
+            source=source,
         )
+        # Restricted to this run's points: when several shards land in the
+        # same store, a shard's report must not leak the other shards' rows.
+        wanted = {point.index for point in points}
         return StoreRunReport(
             spec=spec,
             spec_key=spec_key,
-            records=tuple(store.records(spec_key)),
+            records=tuple(
+                record
+                for record in store.records(spec_key)
+                if int(record["index"]) in wanted
+            ),
             executed_indices=tuple(point.index for point in pending),
             skipped_indices=tuple(
                 sorted(existing.intersection(point.index for point in points))
             ),
             run_id=run_id,
+            shard=shard,
         )
 
     def _reusable_indices(self, store: "SweepDatabase", spec_key: str) -> frozenset[int]:

@@ -37,9 +37,13 @@ class LinkAllocator:
         re-acquired by another job first, so callers must re-check with
         :meth:`is_free` at the actual decision instant.
         """
-        return max((self._busy_until.get(resource, 0.0) for resource in resources), default=0.0)
+        return max(
+            (self._busy_until.get(resource, 0.0) for resource in resources), default=0.0
+        )
 
-    def reserve(self, job_id: str, resources: Iterable[Link], now: float, until: float) -> None:
+    def reserve(
+        self, job_id: str, resources: Iterable[Link], now: float, until: float
+    ) -> None:
         """Hold ``resources`` for ``job_id`` from ``now`` until ``until``.
 
         Raises:

@@ -101,7 +101,9 @@ class SocSystem:
             for i, (input_port, output_port) in enumerate(pairs)
         ]
 
-    def processor_interfaces(self, reused_processors: int | None = None) -> list[TestInterface]:
+    def processor_interfaces(
+        self, reused_processors: int | None = None
+    ) -> list[TestInterface]:
         """Processor test interfaces for the first ``reused_processors`` processors.
 
         Args:
@@ -184,7 +186,9 @@ class SystemBuilder:
     # ------------------------------------------------------------------
     # Content.
     # ------------------------------------------------------------------
-    def add_benchmark(self, benchmark: SocBenchmark, *, prefix: str | None = None) -> "SystemBuilder":
+    def add_benchmark(
+        self, benchmark: SocBenchmark, *, prefix: str | None = None
+    ) -> "SystemBuilder":
         """Add every module of ``benchmark`` as a core under test."""
         self._cores.extend(
             build_cores(

@@ -5,7 +5,9 @@ import pytest
 from repro.analysis.history import (
     history_report,
     makespan_trajectory,
+    makespan_trajectory_sql,
     scheduler_win_rates,
+    scheduler_win_rates_sql,
     trajectory_table,
     win_rate_table,
 )
@@ -91,12 +93,24 @@ class TestWinRates:
 class TestTrajectory:
     def test_groups_by_run_and_system(self):
         rows = [
-            {"run_id": 1, "created_at": "t1", "sweep_name": "s",
-             "record": {"system": "d695_leon", "makespan": 100}},
-            {"run_id": 1, "created_at": "t1", "sweep_name": "s",
-             "record": {"system": "d695_leon", "makespan": 200}},
-            {"run_id": 2, "created_at": "t2", "sweep_name": "s",
-             "record": {"system": "d695_leon", "makespan": 90}},
+            {
+                "run_id": 1,
+                "created_at": "t1",
+                "sweep_name": "s",
+                "record": {"system": "d695_leon", "makespan": 100},
+            },
+            {
+                "run_id": 1,
+                "created_at": "t1",
+                "sweep_name": "s",
+                "record": {"system": "d695_leon", "makespan": 200},
+            },
+            {
+                "run_id": 2,
+                "created_at": "t2",
+                "sweep_name": "s",
+                "record": {"system": "d695_leon", "makespan": 90},
+            },
         ]
         first, second = makespan_trajectory(rows)
         assert (first.run_id, first.record_count) == (1, 2)
@@ -134,3 +148,84 @@ class TestHistoryReport:
         report = history_report(populated, system="d695_leon")
         assert "(no scheduler contests" in report
         assert "(no stored runs)" in report
+
+
+class TestSqlAggregation:
+    """The SQL push-down must match the pure-Python aggregation exactly."""
+
+    @pytest.fixture(scope="class")
+    def populated(self, tmp_path_factory):
+        """A store with history depth: two runs of a two-scheduler grid plus
+        a second sweep overlapping the same coordinates."""
+        path = tmp_path_factory.mktemp("sql-history") / "sweeps.db"
+        contested = SweepSpec(
+            name="sql-grid",
+            systems=("d695_plasma",),
+            processor_counts=(0, 2, 6),
+            power_limits={"no power limit": None, "50% power limit": 0.5},
+            schedulers=("greedy", "fastest-completion"),
+        )
+        overlapping = SweepSpec(
+            name="sql-overlap",
+            systems=("d695_plasma", "d695_leon"),
+            processor_counts=(0, 2),
+            schedulers=("greedy",),
+        )
+        runner = SweepRunner(jobs=1)
+        db = SweepDatabase(path)
+        runner.run_stored(contested, db)
+        runner.run_stored(contested, db)
+        runner.run_stored(overlapping, db)
+        yield db
+        db.close()
+
+    @staticmethod
+    def _flat_records(db):
+        return [record for sweep in db.stored_sweeps() for record in sweep.records]
+
+    def test_win_rates_sql_equals_python(self, populated):
+        expected = scheduler_win_rates(self._flat_records(populated))
+        assert expected  # the grid produces real contests
+        assert scheduler_win_rates_sql(populated) == expected
+
+    def test_win_rates_sql_system_filter(self, populated):
+        records = [
+            r for r in self._flat_records(populated) if r.get("system") == "d695_leon"
+        ]
+        assert scheduler_win_rates_sql(populated, system="d695_leon") == (
+            scheduler_win_rates(records)
+        )
+
+    def test_trajectory_sql_equals_python(self, populated):
+        expected = makespan_trajectory(populated.history_rows())
+        assert len(expected) >= 3  # two runs of sweep 1, one run over two systems
+        assert makespan_trajectory_sql(populated) == expected
+
+    def test_trajectory_sql_system_filter(self, populated):
+        rows = [
+            row
+            for row in populated.history_rows()
+            if row["record"].get("system") == "d695_plasma"
+        ]
+        assert makespan_trajectory_sql(populated, system="d695_plasma") == (
+            makespan_trajectory(rows)
+        )
+
+    def test_trajectory_means_are_bit_identical(self, populated):
+        """The SQL path must reproduce the Python float mean exactly, not
+        merely approximately — the report output is diffed byte-for-byte."""
+        python_means = [
+            row.mean_makespan for row in makespan_trajectory(populated.history_rows())
+        ]
+        sql_means = [row.mean_makespan for row in makespan_trajectory_sql(populated)]
+        assert sql_means == python_means  # exact ==, no pytest.approx
+
+    def test_report_uses_sql_aggregates(self, populated):
+        """history_report renders the same tables the Python reducers would."""
+        report = history_report(populated)
+        assert win_rate_table(
+            scheduler_win_rates(self._flat_records(populated))
+        ) in report
+        assert trajectory_table(
+            makespan_trajectory(populated.history_rows())
+        ) in report

@@ -5,7 +5,7 @@ import sqlite3
 import pytest
 
 from repro.errors import ResultStoreError
-from repro.runner.db import DB_SCHEMA_VERSION, SweepDatabase
+from repro.runner.db import DB_SCHEMA_VERSION, MergeReport, SweepDatabase
 from repro.runner.engine import SweepRunner
 from repro.runner.spec import SweepSpec
 from repro.runner.store import save_sweeps
@@ -230,3 +230,179 @@ class TestMigration:
             SweepRunner(jobs=1).run_stored(spec, db)
             exported = db.export_document(tmp_path / "exported.json")
         assert exported.read_bytes() == direct.read_bytes()
+
+
+class TestMerge:
+    @staticmethod
+    def _shard_store(spec, path, index, count):
+        with SweepDatabase(path) as db:
+            SweepRunner(jobs=1).run_shard(spec, db, shard_index=index, shard_count=count)
+        return path
+
+    def test_merged_shards_export_byte_identical_to_serial_run(self, tmp_path):
+        """The PR's acceptance criterion on the d695 grid: a 3-shard run,
+        merged, exports a schema-v1 document byte-identical to the document
+        a serial full run writes."""
+        from repro.experiments.figure1 import figure1_spec
+
+        spec = figure1_spec("d695_leon")
+        serial = save_sweeps(
+            tmp_path / "serial.json", [(spec, SweepRunner(jobs=1).run(spec))]
+        )
+        with SweepDatabase(tmp_path / "merged.db") as merged:
+            for index in range(3):
+                path = self._shard_store(spec, tmp_path / f"shard-{index}.db", index, 3)
+                with SweepDatabase(path) as shard:
+                    report = merged.merge(shard)
+                assert report.identical == 0
+            exported = merged.export_document(tmp_path / "merged.json")
+        assert exported.read_bytes() == serial.read_bytes()
+
+    def test_merge_empty_store_is_a_noop(self, spec, serial_records, tmp_path):
+        with SweepDatabase(tmp_path / "target.db") as target:
+            spec_key = target.ensure_sweep(spec)
+            target.record_run(spec_key, serial_records, executed=6, skipped=0)
+            with SweepDatabase(tmp_path / "empty.db") as empty:
+                report = target.merge(empty)
+            assert report == MergeReport(spec_keys=(), inserted=0, identical=0)
+            assert target.record_count() == len(serial_records)
+
+    def test_merge_registered_sweep_without_records(self, spec, tmp_path):
+        """An empty shard (sweep registered, zero records) still registers
+        the sweep in the target but adds no run."""
+        with SweepDatabase(tmp_path / "empty-shard.db") as shard:
+            shard.ensure_sweep(spec)
+        with SweepDatabase(tmp_path / "target.db") as target:
+            with SweepDatabase(tmp_path / "empty-shard.db") as shard:
+                report = target.merge(shard)
+            assert report.spec_keys == (spec.content_key(),)
+            assert report.inserted == 0
+            assert target.spec_keys() == [spec.content_key()]
+            assert target.runs() == []
+
+    def test_merge_identical_overlap_is_idempotent(self, spec, serial_records, tmp_path):
+        """Merging the same shard twice changes nothing: overlapping
+        byte-identical records are skipped, and no run row is added."""
+        shard_path = tmp_path / "shard.db"
+        with SweepDatabase(shard_path) as shard:
+            spec_key = shard.ensure_sweep(spec)
+            shard.record_run(spec_key, serial_records, executed=6, skipped=0)
+        with SweepDatabase(tmp_path / "target.db") as target:
+            with SweepDatabase(shard_path) as shard:
+                first = target.merge(shard)
+            runs_after_first = len(target.runs())
+            with SweepDatabase(shard_path) as shard:
+                second = target.merge(shard)
+            assert first.inserted == len(serial_records)
+            assert second.inserted == 0
+            assert second.identical == len(serial_records)
+            assert len(target.runs()) == runs_after_first
+            assert target.records(spec.content_key()) == serial_records
+
+    def test_merge_conflicting_record_rejected(self, spec, serial_records, tmp_path):
+        """A shard holding a *different* record for an already-stored point
+        must abort the merge and leave the target untouched."""
+        conflicting = [dict(record) for record in serial_records]
+        conflicting[2]["makespan"] = conflicting[2]["makespan"] + 1
+        with SweepDatabase(tmp_path / "conflict.db") as shard:
+            spec_key = shard.ensure_sweep(spec)
+            shard.record_run(spec_key, conflicting, executed=6, skipped=0)
+        with SweepDatabase(tmp_path / "target.db") as target:
+            spec_key = target.ensure_sweep(spec)
+            target.record_run(spec_key, serial_records, executed=6, skipped=0)
+            runs_before = len(target.runs())
+            with SweepDatabase(tmp_path / "conflict.db") as shard:
+                with pytest.raises(ResultStoreError, match="point 2 conflicts"):
+                    target.merge(shard)
+            assert target.records(spec_key) == serial_records
+            assert len(target.runs()) == runs_before
+
+    def test_merge_mismatched_spec_key_rejected(self, spec, serial_records, tmp_path):
+        """With expect_spec_key, a shard of a different grid is refused."""
+        other_spec = SweepSpec(
+            name="other-grid", systems=("d695_leon",), processor_counts=(0,)
+        )
+        with SweepDatabase(tmp_path / "shard.db") as shard:
+            shard.ensure_sweep(other_spec)
+        with SweepDatabase(tmp_path / "target.db") as target:
+            with SweepDatabase(tmp_path / "shard.db") as shard:
+                with pytest.raises(ResultStoreError, match="different grid"):
+                    target.merge(shard, expect_spec_key=spec.content_key())
+            assert target.spec_keys() == []
+
+    def test_merge_records_run_source(self, spec, serial_records, tmp_path):
+        shard_path = tmp_path / "shard-a.db"
+        with SweepDatabase(shard_path) as shard:
+            spec_key = shard.ensure_sweep(spec)
+            shard.record_run(spec_key, serial_records, executed=6, skipped=0)
+        with SweepDatabase(tmp_path / "target.db") as target:
+            with SweepDatabase(shard_path) as shard:
+                target.merge(shard)
+            (run,) = target.runs()
+            assert run.source == "merge:shard-a.db"
+            assert run.executed_points == len(serial_records)
+
+    def test_merge_disjoint_sweeps_accumulates_both(self, spec, serial_records, tmp_path):
+        """Merging stores that hold different grids keeps both sweeps."""
+        other_spec = SweepSpec(
+            name="other-grid", systems=("d695_plasma",), processor_counts=(0,)
+        )
+        other_records = [
+            outcome.record() for outcome in SweepRunner(jobs=1).run(other_spec)
+        ]
+        with SweepDatabase(tmp_path / "a.db") as a:
+            a.record_run(a.ensure_sweep(spec), serial_records, executed=6, skipped=0)
+        with SweepDatabase(tmp_path / "b.db") as b:
+            b.record_run(b.ensure_sweep(other_spec), other_records, executed=1, skipped=0)
+        with SweepDatabase(tmp_path / "target.db") as target:
+            for name in ("a.db", "b.db"):
+                with SweepDatabase(tmp_path / name) as source:
+                    target.merge(source)
+            assert target.spec_keys() == [spec.content_key(), other_spec.content_key()]
+            assert target.record_count() == len(serial_records) + len(other_records)
+
+
+class TestMergeAll:
+    @staticmethod
+    def _store_with(path, spec, records):
+        with SweepDatabase(path) as db:
+            db.record_run(
+                db.ensure_sweep(spec), records, executed=len(records), skipped=0
+            )
+        return path
+
+    def test_merge_all_reports_per_source(self, spec, serial_records, tmp_path):
+        a = self._store_with(tmp_path / "a.db", spec, serial_records[:3])
+        b = self._store_with(tmp_path / "b.db", spec, serial_records[3:])
+        with SweepDatabase(tmp_path / "target.db") as target:
+            with SweepDatabase(a) as da, SweepDatabase(b) as db_:
+                first, second = target.merge_all([da, db_])
+            assert (first.inserted, second.inserted) == (3, 3)
+            assert target.records(spec.content_key()) == serial_records
+
+    def test_merge_all_duplicate_source_is_identical(self, spec, serial_records, tmp_path):
+        a = self._store_with(tmp_path / "a.db", spec, serial_records)
+        with SweepDatabase(tmp_path / "target.db") as target:
+            with SweepDatabase(a) as first_open, SweepDatabase(a) as second_open:
+                first, second = target.merge_all([first_open, second_open])
+            assert first.inserted == len(serial_records)
+            assert second.inserted == 0
+            assert second.identical == len(serial_records)
+
+    def test_merge_all_cross_source_conflict_writes_nothing(
+        self, spec, serial_records, tmp_path
+    ):
+        """A conflict between two *sources* must surface during planning and
+        leave the target completely untouched — even the valid source's
+        records must not land."""
+        conflicting = [dict(record) for record in serial_records]
+        conflicting[4]["makespan"] += 1
+        a = self._store_with(tmp_path / "a.db", spec, serial_records)
+        b = self._store_with(tmp_path / "b.db", spec, conflicting)
+        with SweepDatabase(tmp_path / "target.db") as target:
+            with SweepDatabase(a) as da, SweepDatabase(b) as db_:
+                with pytest.raises(ResultStoreError, match="point 4 conflicts"):
+                    target.merge_all([da, db_])
+            assert target.record_count() == 0
+            assert target.spec_keys() == []
+            assert target.runs() == []

@@ -135,3 +135,100 @@ class TestRunnerConfiguration:
         SweepRunner(jobs=1, system_cache=shared).run(d695_spec)
         SweepRunner(jobs=1, system_cache=shared).run(d695_spec)
         assert shared.stats.misses == 1
+
+
+class TestShardExecution:
+    def test_shard_executes_only_its_points(self, d695_spec, tmp_path):
+        from repro.runner.db import SweepDatabase
+
+        with SweepDatabase(tmp_path / "shard.db") as db:
+            report = SweepRunner(jobs=1).run_shard(
+                d695_spec, db, shard_index=0, shard_count=3
+            )
+            expected = tuple(p.index for p in d695_spec.shard(0, 3))
+            assert report.executed_indices == expected
+            assert report.skipped_indices == ()
+            assert report.shard == (0, 3)
+            assert tuple(r["index"] for r in report.records) == expected
+            (run,) = db.runs()
+            assert run.source == "shard:0/3"
+
+    def test_sharded_stores_merge_to_serial_records(
+        self, d695_spec, serial_outcomes, tmp_path
+    ):
+        """Running every shard into its own store and merging must be
+        record-identical to a serial full run of the grid."""
+        from repro.runner.db import SweepDatabase
+
+        shard_paths = []
+        for index in range(3):
+            path = tmp_path / f"shard-{index}.db"
+            with SweepDatabase(path) as db:
+                SweepRunner(jobs=1).run_shard(
+                    d695_spec, db, shard_index=index, shard_count=3
+                )
+            shard_paths.append(path)
+        with SweepDatabase(tmp_path / "merged.db") as merged:
+            for path in shard_paths:
+                with SweepDatabase(path) as shard:
+                    merged.merge(shard)
+            records = merged.records(d695_spec.content_key())
+        assert records == [outcome.record() for outcome in serial_outcomes]
+
+    def test_strided_shards_merge_to_serial_records(
+        self, d695_spec, serial_outcomes, tmp_path
+    ):
+        from repro.runner.db import SweepDatabase
+
+        with SweepDatabase(tmp_path / "merged.db") as merged:
+            for index in range(2):
+                path = tmp_path / f"shard-{index}.db"
+                with SweepDatabase(path) as db:
+                    SweepRunner(jobs=1).run_shard(
+                        d695_spec, db, shard_index=index, shard_count=2, strategy="strided"
+                    )
+                with SweepDatabase(path) as shard:
+                    merged.merge(shard)
+            records = merged.records(d695_spec.content_key())
+        assert records == [outcome.record() for outcome in serial_outcomes]
+
+    def test_shard_resume_skips_stored_points(self, d695_spec, tmp_path):
+        from repro.runner.db import SweepDatabase
+
+        with SweepDatabase(tmp_path / "shard.db") as db:
+            first = SweepRunner(jobs=1).run_shard(
+                d695_spec, db, shard_index=1, shard_count=3, resume=True
+            )
+            again = SweepRunner(jobs=1).run_shard(
+                d695_spec, db, shard_index=1, shard_count=3, resume=True
+            )
+            assert first.executed_count == len(d695_spec.shard(1, 3))
+            assert again.executed_count == 0
+            assert again.skipped_indices == first.executed_indices
+            assert again.records == first.records
+
+    def test_invalid_shard_rejected(self, d695_spec, tmp_path):
+        from repro.runner.db import SweepDatabase
+
+        with SweepDatabase(tmp_path / "shard.db") as db:
+            with pytest.raises(ConfigurationError, match="out of range"):
+                SweepRunner(jobs=1).run_shard(
+                    d695_spec, db, shard_index=3, shard_count=3
+                )
+
+
+class TestShardReportsOnSharedStore:
+    def test_shard_report_holds_only_its_own_points(self, d695_spec, tmp_path):
+        """Shards landing in the SAME store must not leak each other's
+        records through their reports."""
+        from repro.runner.db import SweepDatabase
+
+        with SweepDatabase(tmp_path / "shared.db") as db:
+            SweepRunner(jobs=1).run_shard(d695_spec, db, shard_index=0, shard_count=3)
+            second = SweepRunner(jobs=1).run_shard(
+                d695_spec, db, shard_index=1, shard_count=3
+            )
+            expected = tuple(p.index for p in d695_spec.shard(1, 3))
+            assert tuple(r["index"] for r in second.records) == expected
+            # ...while the store itself accumulates both shards.
+            assert db.record_count(d695_spec.content_key()) == len(expected) * 2

@@ -131,3 +131,58 @@ class TestSerialisation:
     def test_from_dict_missing_field(self):
         with pytest.raises(ConfigurationError, match="missing field"):
             SweepSpec.from_dict({"systems": ["d695_leon"]})
+
+
+class TestShard:
+    def grid(self):
+        """An 8-point grid (4 reuse levels x 2 power series)."""
+        return small_spec(processor_counts=(0, 2, 4, 6))
+
+    @pytest.mark.parametrize("strategy", ["contiguous", "strided"])
+    def test_shards_partition_the_grid(self, strategy):
+        """Shards are disjoint and their union is the full point sequence,
+        with every point keeping its global index."""
+        spec = self.grid()
+        shards = [spec.shard(i, 3, strategy=strategy) for i in range(3)]
+        merged = sorted((p for shard in shards for p in shard), key=lambda p: p.index)
+        assert tuple(merged) == spec.points()
+        indices = [p.index for shard in shards for p in shard]
+        assert len(indices) == len(set(indices))
+
+    def test_contiguous_blocks_balance_the_remainder(self):
+        spec = self.grid()
+        shards = [spec.shard(i, 3) for i in range(3)]
+        assert [len(s) for s in shards] == [3, 3, 2]
+        assert [p.index for p in shards[0]] == [0, 1, 2]
+        assert [p.index for p in shards[2]] == [6, 7]
+
+    def test_strided_deals_round_robin(self):
+        spec = self.grid()
+        assert [p.index for p in spec.shard(1, 3, strategy="strided")] == [1, 4, 7]
+
+    def test_single_shard_is_the_full_grid(self):
+        spec = self.grid()
+        assert spec.shard(0, 1) == spec.points()
+
+    @pytest.mark.parametrize("strategy", ["contiguous", "strided"])
+    def test_more_shards_than_points_leaves_trailing_shards_empty(self, strategy):
+        spec = small_spec(processor_counts=(0,), power_limits={"no power limit": None})
+        shards = [spec.shard(i, 3, strategy=strategy) for i in range(3)]
+        assert [len(s) for s in shards] == [1, 0, 0]
+
+    def test_shards_are_deterministic(self):
+        spec = self.grid()
+        assert spec.shard(1, 3) == self.grid().shard(1, 3)
+
+    def test_non_positive_count_rejected(self):
+        with pytest.raises(ConfigurationError, match="shard count"):
+            self.grid().shard(0, 0)
+
+    @pytest.mark.parametrize("index", [-1, 3, 7])
+    def test_out_of_range_index_rejected(self, index):
+        with pytest.raises(ConfigurationError, match="out of range"):
+            self.grid().shard(index, 3)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ConfigurationError, match="shard strategy"):
+            self.grid().shard(0, 2, strategy="random")

@@ -337,3 +337,156 @@ class TestStoreAndHistoryCommands:
         out = capsys.readouterr().out
         assert "imported 1 record(s)" in out
         assert exported.read_bytes() == document.read_bytes()
+
+
+class TestShardAndMergeCommands:
+    @staticmethod
+    def _shard(store, index, count):
+        return main(
+            [
+                "sweep",
+                "d695_leon",
+                "--no-characterize",
+                "--store",
+                str(store),
+                "--shard-index",
+                str(index),
+                "--shard-count",
+                str(count),
+            ]
+        )
+
+    def test_sharded_run_merges_byte_identical_to_serial(self, capsys, tmp_path):
+        """The acceptance path end to end: 3 CLI shards of the d695 grid,
+        `repro merge`, and the exported document equals the serial run's."""
+        serial = tmp_path / "serial.json"
+        assert (
+            main(["sweep", "d695_leon", "--no-characterize", "--out", str(serial)]) == 0
+        )
+        shard_paths = []
+        for index in range(3):
+            store = tmp_path / f"shard-{index}.db"
+            assert self._shard(store, index, 3) == 0
+            shard_paths.append(store)
+        capsys.readouterr()
+
+        merged = tmp_path / "merged.db"
+        exported = tmp_path / "merged.json"
+        assert (
+            main(
+                [
+                    "merge",
+                    str(merged),
+                    *map(str, shard_paths),
+                    "--export-json",
+                    str(exported),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "8 records after merging 3 store(s)" in out
+        assert exported.read_bytes() == serial.read_bytes()
+
+    def test_shard_reports_its_slice(self, capsys, tmp_path):
+        assert self._shard(tmp_path / "shard.db", 0, 3) == 0
+        out = capsys.readouterr().out
+        assert "3 executed, 0 skipped across 1 sweep(s) [shard 0/3]" in out
+        assert "for 3 grid points" in out
+
+    def test_merge_is_idempotent(self, capsys, tmp_path):
+        shard = tmp_path / "shard.db"
+        assert self._shard(shard, 2, 3) == 0
+        merged = tmp_path / "merged.db"
+        assert main(["merge", str(merged), str(shard), str(shard)]) == 0
+        out = capsys.readouterr().out
+        assert "2 record(s) added, 0 identical" in out
+        assert "0 record(s) added, 2 identical" in out
+
+    def test_shard_flags_must_pair(self, capsys):
+        assert main(["sweep", "d695_leon", "--shard-index", "0"]) == 1
+        assert "go together" in capsys.readouterr().err
+
+    def test_shard_flags_require_store(self, capsys):
+        assert (
+            main(["sweep", "d695_leon", "--shard-index", "0", "--shard-count", "3"])
+            == 1
+        )
+        assert "need --store" in capsys.readouterr().err
+
+    def test_shard_index_out_of_range(self, capsys, tmp_path):
+        store = tmp_path / "shard.db"
+        assert self._shard(store, 3, 3) == 1
+        assert "out of range" in capsys.readouterr().err
+        assert not store.exists()  # validated before the store is opened
+
+    def test_load_rejects_shard_flags(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--load",
+                    str(tmp_path / "r.json"),
+                    "--shard-index",
+                    "0",
+                    "--shard-count",
+                    "2",
+                ]
+            )
+            == 1
+        )
+        err = capsys.readouterr().err
+        assert "--shard-index" in err and "--load" in err
+
+    def test_merge_missing_shard_store_fails(self, capsys, tmp_path):
+        out_db = tmp_path / "merged.db"
+        assert main(["merge", str(out_db), str(tmp_path / "absent.db")]) == 1
+        assert "no sqlite sweep store" in capsys.readouterr().err
+        assert not out_db.exists()
+
+
+class TestMergeConflictCleanup:
+    def test_conflicting_merge_leaves_no_stray_output(self, capsys, tmp_path):
+        """A failed merge into a fresh output path must not leave an empty
+        store behind, and a valid shard earlier in the argument list must
+        not have been committed either."""
+        from repro.runner.db import SweepDatabase
+        from repro.runner.engine import SweepRunner
+        from repro.runner.spec import SweepSpec
+
+        spec = SweepSpec(name="conflict", systems=("d695_leon",), processor_counts=(0,))
+        records = [o.record() for o in SweepRunner(jobs=1).run(spec)]
+        good, bad = tmp_path / "good.db", tmp_path / "bad.db"
+        with SweepDatabase(good) as db:
+            db.record_run(db.ensure_sweep(spec), records, executed=1, skipped=0)
+        mutated = [dict(records[0])]
+        mutated[0]["makespan"] += 1
+        with SweepDatabase(bad) as db:
+            db.record_run(db.ensure_sweep(spec), mutated, executed=1, skipped=0)
+
+        merged = tmp_path / "merged.db"
+        assert main(["merge", str(merged), str(good), str(bad)]) == 1
+        assert "conflicts" in capsys.readouterr().err
+        assert not merged.exists()
+
+    def test_export_failure_after_commit_keeps_the_merged_store(self, capsys, tmp_path):
+        """Once the merge has committed, a later failure (bad --export-json
+        path) must NOT delete the freshly merged store — it is user data."""
+        from repro.runner.db import SweepDatabase
+        from repro.runner.engine import SweepRunner
+        from repro.runner.spec import SweepSpec
+
+        spec = SweepSpec(name="keep", systems=("d695_leon",), processor_counts=(0,))
+        shard = tmp_path / "shard.db"
+        with SweepDatabase(shard) as db:
+            SweepRunner(jobs=1).run_stored(spec, db)
+        merged = tmp_path / "merged.db"
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory", encoding="utf-8")
+        bad_export = blocker / "doc.json"
+        with pytest.raises(OSError):
+            main(["merge", str(merged), str(shard), "--export-json", str(bad_export)])
+        capsys.readouterr()
+        assert merged.exists()
+        with SweepDatabase(merged) as db:
+            assert db.record_count() == 1
