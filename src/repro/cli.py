@@ -16,13 +16,21 @@ Installed as ``repro-noctest`` (see ``pyproject.toml``) and runnable as
   tables (all six panels by default).
 * ``headline`` — recompute the paper's quoted reduction percentages.
 * ``sweep [SYSTEM...]`` — run an arbitrary experiment grid (reuse levels ×
-  power limits × schedulers) through the parallel sweep engine, with
-  build/characterisation caching (``--jobs``, ``--cache-dir``), a
-  schema-versioned JSON result store (``--out``, re-printable via
-  ``--load``), a durable sqlite store with incremental re-runs
-  (``--store``, ``--resume``) and sharded execution of one deterministic
-  slice of each grid (``--shard-index``/``--shard-count``, for distributing
-  a sweep across hosts or CI jobs).
+  power limits × schedulers) through the sweep engine on a selectable
+  execution backend (``--backend serial|pool|shard-workers``, ``--jobs``),
+  with build/characterisation caching (``--cache-dir``), a schema-versioned
+  JSON result store (``--out``, re-printable via ``--load``), a durable
+  sqlite store with incremental re-runs (``--store``, ``--resume``),
+  sharded execution of one deterministic slice of each grid
+  (``--shard-index``/``--shard-count``/``--shard-strategy``, for
+  distributing a sweep across hosts or CI jobs) and grids taken straight
+  from a spec file (``--spec-json``, how orchestration workers are driven).
+* ``orchestrate [SYSTEM...]`` — the multi-host flow on one machine: fan
+  each grid out over N local ``repro sweep --shard-index`` subprocess
+  workers (``--workers``), each writing its own sqlite store, then
+  auto-merge the shard stores into ``--store`` with per-shard run history
+  carried; the merged export (``--export-json``) is byte-identical to a
+  serial run's.
 * ``merge OUT SHARD...`` — fold sharded sqlite stores back into one
   database; merging every shard of a grid yields a store whose exported
   document (``--export-json``) is byte-identical to a serial full run's.
@@ -36,6 +44,7 @@ from __future__ import annotations
 
 import argparse
 import contextlib
+import json
 import os
 import sys
 from pathlib import Path
@@ -57,9 +66,15 @@ from repro.experiments.figure1 import (
 from repro.experiments.headline import run_headline_claims
 from repro.itc02.library import available_benchmarks, export_benchmarks, load_benchmark
 from repro.noc.characterization import characterize_noc
+from repro.runner.backends import BACKEND_FACTORIES, ShardWorkerBackend, make_backend
 from repro.runner.db import SweepDatabase
 from repro.runner.engine import SweepRunner
-from repro.runner.spec import SCHEDULER_FACTORIES, SweepSpec, power_series_label
+from repro.runner.spec import (
+    SCHEDULER_FACTORIES,
+    SHARD_STRATEGIES,
+    SweepSpec,
+    power_series_label,
+)
 from repro.runner.store import load_sweeps, save_stored_sweeps, save_sweeps
 from repro.schedule.planner import TestPlanner
 from repro.schedule.variants import FastestCompletionScheduler
@@ -188,7 +203,10 @@ _SWEEP_RUN_OPTIONS: tuple[tuple[str, str], ...] = (
     ("power_limits", "--power-limits"),
     ("schedulers", "--schedulers"),
     ("flit_width", "--flit-width"),
+    ("spec_json", "--spec-json"),
     ("jobs", "--jobs"),
+    ("backend", "--backend"),
+    ("workers", "--workers"),
     ("cache_dir", "--cache-dir"),
     ("out", "--out"),
     ("packets", "--packets"),
@@ -197,6 +215,8 @@ _SWEEP_RUN_OPTIONS: tuple[tuple[str, str], ...] = (
     ("resume", "--resume"),
     ("shard_index", "--shard-index"),
     ("shard_count", "--shard-count"),
+    ("shard_strategy", "--shard-strategy"),
+    ("workdir", "--workdir"),
 )
 
 
@@ -217,28 +237,59 @@ def _reject_load_conflicts(args: argparse.Namespace) -> None:
         )
 
 
-def _cmd_sweep(args: argparse.Namespace) -> int:
-    if args.load:
-        _reject_load_conflicts(args)
-        for sweep in load_sweeps(args.load):
-            print(stored_sweep_summary(sweep))
-            print(records_table(sweep.records, title=f"Sweep: {sweep.spec.name}"))
-            print()
-        return 0
-    if args.resume and not args.store:
-        raise ConfigurationError(
-            "--resume needs --store: there is no sqlite store to resume from"
-        )
-    if (args.shard_index is None) != (args.shard_count is None):
-        raise ConfigurationError(
-            "--shard-index and --shard-count go together: one names the shard, "
-            "the other the partition size"
-        )
-    if args.shard_count is not None and not args.store:
-        raise ConfigurationError(
-            "--shard-index/--shard-count need --store: shard results must land "
-            "in a sqlite store so `repro merge` can fold the shards together"
-        )
+def _load_spec_json(path: str) -> list[SweepSpec]:
+    """Load one spec (object) or several (list) from a ``--spec-json`` file.
+
+    Raises:
+        ConfigurationError: for an unreadable file, invalid JSON, or
+            entries that do not describe a sweep spec.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read spec file {path}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"spec file {path} is not valid JSON: {exc}") from exc
+    entries = data if isinstance(data, list) else [data]
+    if not entries:
+        raise ConfigurationError(f"spec file {path} holds no sweep specs")
+    specs = []
+    for position, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise ConfigurationError(
+                f"spec file {path}: entry {position} is not a spec object"
+            )
+        specs.append(SweepSpec.from_dict(entry))
+    return specs
+
+
+def _build_sweep_specs(args: argparse.Namespace) -> list[SweepSpec]:
+    """The sweep specs a ``sweep``/``orchestrate`` invocation describes.
+
+    Either loaded verbatim from ``--spec-json`` (the path orchestration
+    workers take, and the only way to express grids beyond the flag
+    surface), or built one-per-system from the grid flags.
+    """
+    if args.spec_json:
+        conflicting = []
+        if args.systems:
+            conflicting.append("SYSTEM arguments")
+        for attribute, flag, default in (
+            ("counts", "--counts", None),
+            ("power_limits", "--power-limits", None),
+            ("schedulers", "--schedulers", "greedy"),
+            ("flit_width", "--flit-width", 32),
+        ):
+            if getattr(args, attribute) != default:
+                conflicting.append(flag)
+        if conflicting:
+            raise ConfigurationError(
+                "--spec-json runs the grid(s) stored in a spec file; "
+                "drop " + ", ".join(conflicting) + " or drop --spec-json"
+            )
+        return _load_spec_json(args.spec_json)
 
     systems = args.systems or sorted(PAPER_SYSTEMS)
     schedulers = tuple(token.strip() for token in args.schedulers.split(",") if token.strip())
@@ -246,13 +297,6 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         _parse_power_limits(args.power_limits)
         if args.power_limits
         else tuple(PAPER_POWER_SERIES.items())
-    )
-
-    runner = SweepRunner(
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-        characterize=not args.no_characterize,
-        packet_count=args.packets,
     )
     specs = []
     for name in systems:
@@ -277,12 +321,97 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 flit_widths=(args.flit_width,),
             )
         )
+    return specs
+
+
+def _sweep_title(spec: SweepSpec) -> str:
+    """Report title for one spec: the system for single-system grids."""
+    return spec.systems[0] if len(spec.systems) == 1 else spec.name
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.load:
+        _reject_load_conflicts(args)
+        for sweep in load_sweeps(args.load):
+            print(stored_sweep_summary(sweep))
+            print(records_table(sweep.records, title=f"Sweep: {sweep.spec.name}"))
+            print()
+        return 0
+    if args.resume and not args.store:
+        raise ConfigurationError(
+            "--resume needs --store: there is no sqlite store to resume from"
+        )
+    if (args.shard_index is None) != (args.shard_count is None):
+        raise ConfigurationError(
+            "--shard-index and --shard-count go together: one names the shard, "
+            "the other the partition size"
+        )
+    if args.shard_count is not None and not args.store:
+        raise ConfigurationError(
+            "--shard-index/--shard-count need --store: shard results must land "
+            "in a sqlite store so `repro merge` can fold the shards together"
+        )
+    orchestrated = args.backend == ShardWorkerBackend.name
+    if args.shard_strategy != "contiguous" and args.shard_count is None and not orchestrated:
+        raise ConfigurationError(
+            "--shard-strategy needs --shard-index/--shard-count (or the "
+            "shard-workers backend, which partitions the grid itself)"
+        )
+    if args.workers is not None and not orchestrated:
+        raise ConfigurationError(
+            "--workers configures the shard-workers backend; add "
+            "--backend shard-workers (or use `repro orchestrate`)"
+        )
+    if args.workdir is not None and not orchestrated:
+        raise ConfigurationError(
+            "--workdir holds the shard-workers backend's shard stores and "
+            "logs; add --backend shard-workers (or use `repro orchestrate`)"
+        )
+    if orchestrated:
+        if not args.store:
+            raise ConfigurationError(
+                "--backend shard-workers needs --store: the shard workers' "
+                "results are merged into a sqlite store"
+            )
+        if args.shard_count is not None:
+            raise ConfigurationError(
+                "--backend shard-workers partitions the grid itself; drop "
+                "--shard-index/--shard-count (they configure a single worker)"
+            )
+        if args.resume and args.workdir is None:
+            raise ConfigurationError(
+                "--resume with the shard-workers backend needs --workdir: "
+                "workers resume from their previous shard stores, which only "
+                "survive in a persistent work directory"
+            )
+
+    backend = None
+    if args.backend is not None:
+        backend = make_backend(
+            args.backend,
+            jobs=args.jobs,
+            workers=args.workers if args.workers is not None else 2,
+            strategy=args.shard_strategy,
+        )
+    runner = SweepRunner(
+        jobs=args.jobs,
+        backend=backend,
+        cache_dir=args.cache_dir,
+        characterize=not args.no_characterize,
+        packet_count=args.packets,
+    )
+    specs = _build_sweep_specs(args)
+
+    if orchestrated:
+        _run_sweeps_orchestrated(args, runner, specs)
+        return 0
 
     # Computed before executing anything so an out-of-range shard index
     # fails fast instead of after the first grid ran.
     if args.shard_count is not None:
         planned_points = sum(
-            len(spec.shard(args.shard_index, args.shard_count)) for spec in specs
+            len(spec.shard(args.shard_index, args.shard_count, strategy=args.shard_strategy))
+            for spec in specs
         )
     else:
         planned_points = sum(spec.point_count for spec in specs)
@@ -290,7 +419,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.store:
         _run_sweeps_stored(args, runner, specs)
     else:
-        _run_sweeps_plain(args, runner, specs, schedulers)
+        _run_sweeps_plain(args, runner, specs)
 
     build_stats = runner.system_cache.stats
     char_stats = runner.characterization_cache.stats
@@ -307,23 +436,25 @@ def _run_sweeps_plain(
     args: argparse.Namespace,
     runner: SweepRunner,
     specs: Sequence[SweepSpec],
-    schedulers: Sequence[str],
 ) -> None:
     """Execute every spec in full and optionally write one JSON document."""
     entries = []
     for spec in specs:
         outcomes = runner.run(spec)
         entries.append((spec, outcomes))
-        (name,) = spec.systems
-        # The paper-shaped panel table needs integer counts and a single
-        # scheduler; 'all' (None) counts or scheduler mixes get the flat table.
-        if len(schedulers) == 1 and all(
-            count is not None for count in spec.processor_counts
+        title = _sweep_title(spec)
+        # The paper-shaped panel table needs one system, integer counts and a
+        # single scheduler; 'all' (None) counts, scheduler mixes and
+        # multi-system specs get the flat table.
+        if (
+            len(spec.systems) == 1
+            and len(spec.schedulers) == 1
+            and all(count is not None for count in spec.processor_counts)
         ):
             panel = panel_from_outcomes(spec, outcomes)
-            print(sweep_table(panel.series, title=f"Sweep: {name}"))
+            print(sweep_table(panel.series, title=f"Sweep: {title}"))
         else:
-            print(records_table([o.record() for o in outcomes], title=f"Sweep: {name}"))
+            print(records_table([o.record() for o in outcomes], title=f"Sweep: {title}"))
         print()
     if args.out:
         written = save_sweeps(args.out, entries)
@@ -345,6 +476,7 @@ def _run_sweeps_stored(
                     db,
                     shard_index=args.shard_index,
                     shard_count=args.shard_count,
+                    strategy=args.shard_strategy,
                     resume=args.resume,
                 )
             else:
@@ -352,8 +484,7 @@ def _run_sweeps_stored(
             reports.append(report)
             executed += report.executed_count
             skipped += report.skipped_count
-            (name,) = spec.systems
-            print(records_table(report.records, title=f"Sweep: {name}"))
+            print(records_table(report.records, title=f"Sweep: {_sweep_title(spec)}"))
             print()
         if args.out:
             written = save_stored_sweeps(
@@ -366,6 +497,75 @@ def _run_sweeps_stored(
         + (f" [shard {args.shard_index}/{args.shard_count}]" if sharded else "")
         + (" [resume]" if args.resume else "")
     )
+
+
+def _run_sweeps_orchestrated(
+    args: argparse.Namespace, runner: SweepRunner, specs: Sequence[SweepSpec]
+) -> None:
+    """Orchestrate every spec over shard workers into the sqlite store.
+
+    The shard stores are merged with history carried, so the target store
+    records one run per shard per grid; the merged export stays
+    byte-identical to a serial full run's.
+    """
+    workdir = getattr(args, "workdir", None)
+    records = runs = 0
+    with SweepDatabase(args.store) as db:
+        reports = []
+        for spec in specs:
+            report = runner.orchestrate(spec, db, resume=args.resume, workdir=workdir)
+            reports.append(report)
+            records += report.record_count
+            runs += report.run_count
+            print(
+                records_table(
+                    db.records(report.spec_key), title=f"Sweep: {_sweep_title(spec)}"
+                )
+            )
+            for worker in report.workers:
+                print(
+                    f"  worker {worker.shard_index}/{worker.shard_count}: "
+                    f"{worker.store_path} [exit {worker.returncode}]"
+                )
+            print()
+        if args.out:
+            written = save_stored_sweeps(
+                args.out, [db.stored_sweep(report.spec_key) for report in reports]
+            )
+            print(f"wrote {written}")
+    carried = sum(r.runs_carried for report in reports for r in report.merge_reports)
+    print(
+        f"store {args.store}: {records} records, {runs} run(s) across "
+        f"{len(specs)} sweep(s) orchestrated on {runner.backend.worker_count} "
+        f"shard worker(s) ({carried} shard run(s) carried; workdir "
+        f"{reports[-1].workdir})"
+    )
+
+
+def _cmd_orchestrate(args: argparse.Namespace) -> int:
+    if args.resume and args.workdir is None:
+        raise ConfigurationError(
+            "--resume needs --workdir: workers resume from their previous "
+            "shard stores, which only survive in a persistent work directory"
+        )
+    backend = ShardWorkerBackend(
+        workers=args.workers,
+        strategy=args.shard_strategy,
+        timeout=args.worker_timeout,
+    )
+    runner = SweepRunner(
+        backend=backend,
+        cache_dir=args.cache_dir,
+        characterize=not args.no_characterize,
+        packet_count=args.packets,
+    )
+    specs = _build_sweep_specs(args)
+    _run_sweeps_orchestrated(args, runner, specs)
+    if args.export_json:
+        with SweepDatabase(args.store) as db:
+            written = db.export_document(args.export_json)
+        print(f"wrote {written}")
+    return 0
 
 
 def _remove_store_files(path: Path) -> None:
@@ -456,6 +656,79 @@ def _cmd_export_soc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags describing *what* to run, shared by ``sweep`` and ``orchestrate``.
+
+    Defaults must stay in sync with the conflict table in
+    :func:`_build_sweep_specs` (which rejects grid flags next to
+    ``--spec-json``).
+    """
+    parser.add_argument(
+        "systems",
+        nargs="*",
+        metavar="SYSTEM",
+        help=f"systems to sweep (default: all of {', '.join(sorted(PAPER_SYSTEMS))})",
+    )
+    parser.add_argument(
+        "--counts",
+        default=None,
+        help="comma-separated reused-processor counts, 'all' = every processor "
+        "(default: the paper's Figure 1 counts per system)",
+    )
+    parser.add_argument(
+        "--power-limits",
+        default=None,
+        help="comma-separated power-limit fractions, 'none' = unconstrained "
+        "(default: 0.5,none — the paper's two series)",
+    )
+    parser.add_argument(
+        "--schedulers",
+        default="greedy",
+        help="comma-separated scheduler policies: "
+        + ", ".join(sorted(SCHEDULER_FACTORIES)),
+    )
+    parser.add_argument(
+        "--flit-width", type=int, default=32, help="NoC flit width (default: 32)"
+    )
+    parser.add_argument(
+        "--spec-json",
+        default=None,
+        metavar="FILE",
+        help="run the sweep spec(s) stored in FILE (SweepSpec.to_dict JSON, "
+        "one object or a list) instead of building grids from the flags",
+    )
+    parser.add_argument(
+        "--packets",
+        type=int,
+        default=200,
+        help="random packets for the NoC characterisation campaign",
+    )
+    parser.add_argument(
+        "--no-characterize",
+        action="store_true",
+        help="skip the per-SoC NoC characterisation step",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for persisted NoC-characterisation records",
+    )
+    parser.add_argument(
+        "--shard-strategy",
+        choices=SHARD_STRATEGIES,
+        default="contiguous",
+        help="shard partition strategy (default: contiguous)",
+    )
+    parser.add_argument(
+        "--workdir",
+        default=None,
+        metavar="DIR",
+        help="shard-worker orchestration only: directory for the shard "
+        "stores, spec file and worker logs (default: a fresh temporary "
+        "directory)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -522,33 +795,7 @@ def build_parser() -> argparse.ArgumentParser:
         "grid through the caching sweep runner.  Without options this "
         "reproduces the Figure 1 grids of the selected systems.",
     )
-    sweep.add_argument(
-        "systems",
-        nargs="*",
-        metavar="SYSTEM",
-        help=f"systems to sweep (default: all of {', '.join(sorted(PAPER_SYSTEMS))})",
-    )
-    sweep.add_argument(
-        "--counts",
-        default=None,
-        help="comma-separated reused-processor counts, 'all' = every processor "
-        "(default: the paper's Figure 1 counts per system)",
-    )
-    sweep.add_argument(
-        "--power-limits",
-        default=None,
-        help="comma-separated power-limit fractions, 'none' = unconstrained "
-        "(default: 0.5,none — the paper's two series)",
-    )
-    sweep.add_argument(
-        "--schedulers",
-        default="greedy",
-        help="comma-separated scheduler policies: "
-        + ", ".join(sorted(SCHEDULER_FACTORIES)),
-    )
-    sweep.add_argument(
-        "--flit-width", type=int, default=32, help="NoC flit width (default: 32)"
-    )
+    _add_grid_arguments(sweep)
     sweep.add_argument(
         "--jobs",
         type=int,
@@ -556,23 +803,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes (0 = one per CPU; default: 1, serial)",
     )
     sweep.add_argument(
-        "--cache-dir",
+        "--backend",
+        choices=sorted(BACKEND_FACTORIES),
         default=None,
-        help="directory for persisted NoC-characterisation records",
+        help="execution backend (default: serial, or pool when --jobs > 1); "
+        "shard-workers fans the grid out over local subprocess workers "
+        "and needs --store",
+    )
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard workers for --backend shard-workers (default: 2)",
     )
     sweep.add_argument(
         "--out", default=None, help="write results as schema-versioned JSON to this file"
-    )
-    sweep.add_argument(
-        "--packets",
-        type=int,
-        default=200,
-        help="random packets for the NoC characterisation campaign",
-    )
-    sweep.add_argument(
-        "--no-characterize",
-        action="store_true",
-        help="skip the per-SoC NoC characterisation step",
     )
     sweep.add_argument(
         "--load",
@@ -615,6 +861,51 @@ def build_parser() -> argparse.ArgumentParser:
             for attribute, _ in _SWEEP_RUN_OPTIONS
         },
     )
+
+    orchestrate = subparsers.add_parser(
+        "orchestrate",
+        help="fan a sweep grid out over local shard workers and merge the results",
+        description="Run each grid as N detached `repro sweep --shard-index` "
+        "subprocess workers (one sqlite store per shard), monitor them, and "
+        "auto-merge the shard stores into OUT_DB with per-shard run history "
+        "carried.  The merged store's --export-json document is "
+        "byte-identical to a serial full run's — the local stand-in for "
+        "SSH/CI fan-out.",
+    )
+    _add_grid_arguments(orchestrate)
+    orchestrate.add_argument(
+        "--store",
+        required=True,
+        metavar="DB",
+        help="sqlite store the merged shard results land in",
+    )
+    orchestrate.add_argument(
+        "--workers",
+        type=int,
+        default=3,
+        metavar="N",
+        help="shard workers per grid (default: 3)",
+    )
+    orchestrate.add_argument(
+        "--resume",
+        action="store_true",
+        help="let workers skip points their shard store already holds "
+        "(needs a persistent --workdir)",
+    )
+    orchestrate.add_argument(
+        "--worker-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill workers still running after this long (default: wait)",
+    )
+    orchestrate.add_argument(
+        "--export-json",
+        default=None,
+        metavar="FILE",
+        help="export the merged store as a schema-v1 JSON result document",
+    )
+    orchestrate.set_defaults(handler=_cmd_orchestrate, out=None)
 
     merge = subparsers.add_parser(
         "merge",

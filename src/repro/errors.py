@@ -68,3 +68,7 @@ class ConfigurationError(ReproError):
 
 class ResultStoreError(ReproError):
     """Raised when a stored sweep-result document cannot be read."""
+
+
+class OrchestrationError(ReproError):
+    """Raised when a dispatched sweep worker fails or never finishes."""

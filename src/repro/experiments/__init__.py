@@ -17,7 +17,13 @@ and prints the resulting rows.
 Since the sweep-engine refactor every grid-shaped driver is a thin
 :class:`~repro.runner.spec.SweepSpec` definition executed by the shared
 :class:`~repro.runner.engine.SweepRunner` — pass a configured runner to any
-driver to share build/characterisation caches or to run on a process pool.
+driver to share build/characterisation caches or to pick an execution
+backend (process pool, orchestrated shard workers).  The spec factories
+(:func:`figure1_spec`, :func:`scheduler_comparison_spec`,
+:func:`pattern_penalty_spec`, :func:`flit_width_spec`) are exported
+separately so any backend can execute an experiment grid — e.g. dumped via
+``SweepSpec.to_dict`` and orchestrated shard-wise with
+``repro orchestrate --spec-json``.
 """
 
 from repro.experiments.figure1 import (
@@ -29,10 +35,13 @@ from repro.experiments.figure1 import (
 )
 from repro.experiments.headline import HeadlineClaim, run_headline_claims
 from repro.experiments.ablation import (
+    flit_width_spec,
+    pattern_penalty_spec,
     run_external_interface_sweep,
     run_flit_width_sweep,
     run_pattern_penalty_sweep,
     run_scheduler_comparison,
+    scheduler_comparison_spec,
 )
 
 __all__ = [
@@ -43,8 +52,11 @@ __all__ = [
     "run_panel",
     "HeadlineClaim",
     "run_headline_claims",
+    "scheduler_comparison_spec",
     "run_scheduler_comparison",
+    "pattern_penalty_spec",
     "run_pattern_penalty_sweep",
     "run_external_interface_sweep",
+    "flit_width_spec",
     "run_flit_width_sweep",
 ]

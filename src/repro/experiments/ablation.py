@@ -58,6 +58,28 @@ class SchedulerComparisonRow:
         return reduction_percent(self.greedy_makespan, self.lookahead_makespan)
 
 
+def scheduler_comparison_spec(
+    system_name: str = "p22810_leon",
+    *,
+    processor_counts: tuple[int, ...] = (0, 2, 4, 6, 8),
+    power_limit_fraction: float | None = None,
+) -> SweepSpec:
+    """The declarative grid of the scheduler-policy ablation (claim T4).
+
+    A thin spec like :func:`repro.experiments.figure1.figure1_spec`: any
+    execution backend can run it — in-process, on a pool, or orchestrated
+    shard-wise into a store (``repro sweep --spec-json`` /
+    :meth:`SweepRunner.orchestrate <repro.runner.engine.SweepRunner.orchestrate>`).
+    """
+    return SweepSpec(
+        name=f"ablation-scheduler-{system_name.lower()}",
+        systems=(system_name,),
+        processor_counts=processor_counts,
+        power_limits=(("series", power_limit_fraction),),
+        schedulers=("greedy", "fastest-completion"),
+    )
+
+
 def run_scheduler_comparison(
     system_name: str = "p22810_leon",
     *,
@@ -66,12 +88,10 @@ def run_scheduler_comparison(
     runner: SweepRunner | None = None,
 ) -> list[SchedulerComparisonRow]:
     """Compare the greedy policy with the fastest-completion policy."""
-    spec = SweepSpec(
-        name=f"ablation-scheduler-{system_name.lower()}",
-        systems=(system_name,),
+    spec = scheduler_comparison_spec(
+        system_name,
         processor_counts=processor_counts,
-        power_limits=(("series", power_limit_fraction),),
-        schedulers=("greedy", "fastest-completion"),
+        power_limit_fraction=power_limit_fraction,
     )
     outcomes = (runner or SweepRunner()).run(spec)
     makespans = _makespans_by(outcomes, "scheduler", "reused_processors")
@@ -100,6 +120,20 @@ class PenaltySweepRow:
         return reduction_percent(self.baseline_makespan, self.reuse_makespan)
 
 
+def pattern_penalty_spec(
+    system_name: str = "d695_leon",
+    *,
+    penalties: tuple[int, ...] = (0, 5, 10, 20, 40),
+) -> SweepSpec:
+    """The declarative grid of the pattern-penalty ablation (study A1)."""
+    return SweepSpec(
+        name=f"ablation-pattern-penalty-{system_name.lower()}",
+        systems=(system_name,),
+        processor_counts=(0, None),
+        pattern_penalties=penalties,
+    )
+
+
 def run_pattern_penalty_sweep(
     system_name: str = "d695_leon",
     *,
@@ -107,12 +141,7 @@ def run_pattern_penalty_sweep(
     runner: SweepRunner | None = None,
 ) -> list[PenaltySweepRow]:
     """Sweep the per-pattern processor penalty (the paper fixes it to 10)."""
-    spec = SweepSpec(
-        name=f"ablation-pattern-penalty-{system_name.lower()}",
-        systems=(system_name,),
-        processor_counts=(0, None),
-        pattern_penalties=penalties,
-    )
+    spec = pattern_penalty_spec(system_name, penalties=penalties)
     outcomes = (runner or SweepRunner()).run(spec)
     makespans = _makespans_by(outcomes, "pattern_penalty", "reused_processors")
     return [
@@ -139,6 +168,20 @@ class FlitWidthRow:
         return reduction_percent(self.baseline_makespan, self.reuse_makespan)
 
 
+def flit_width_spec(
+    system_name: str = "d695_leon",
+    *,
+    flit_widths: tuple[int, ...] = (8, 16, 32, 64),
+) -> SweepSpec:
+    """The declarative grid of the flit-width ablation."""
+    return SweepSpec(
+        name=f"ablation-flit-width-{system_name.lower()}",
+        systems=(system_name,),
+        processor_counts=(0, None),
+        flit_widths=flit_widths,
+    )
+
+
 def run_flit_width_sweep(
     system_name: str = "d695_leon",
     *,
@@ -152,12 +195,7 @@ def run_flit_width_sweep(
     reuse is largely insensitive to it, which is why reproducing the paper
     with a 32-bit default is legitimate.
     """
-    spec = SweepSpec(
-        name=f"ablation-flit-width-{system_name.lower()}",
-        systems=(system_name,),
-        processor_counts=(0, None),
-        flit_widths=flit_widths,
-    )
+    spec = flit_width_spec(system_name, flit_widths=flit_widths)
     outcomes = (runner or SweepRunner()).run(spec)
     makespans = _makespans_by(outcomes, "flit_width", "reused_processors")
     return [

@@ -1,16 +1,20 @@
 """Parallel experiment-sweep engine with result caching.
 
 The runner package is the orchestration layer above the planner: declare a
-grid with :class:`SweepSpec`, execute it with :class:`SweepRunner` (serially
-or on a process pool, always in deterministic point order), and persist the
-outcome as schema-versioned JSON with :func:`save_sweeps` /
+grid with :class:`SweepSpec`, execute it with :class:`SweepRunner` on a
+pluggable :class:`ExecutionBackend` (in-process, process pool, or fanned
+out over shard-worker subprocesses — always in deterministic point order),
+and persist the outcome as schema-versioned JSON with :func:`save_sweeps` /
 :func:`load_sweeps` or durably in a :class:`SweepDatabase` sqlite store
 (crash-safe, accumulates across runs, and enables incremental re-runs via
 :meth:`SweepRunner.run_stored`).  Grids also execute sharded: each
 deterministic shard of the point order (:meth:`SweepSpec.shard`) runs
 anywhere via :meth:`SweepRunner.run_shard` into its own store, and
 :meth:`SweepDatabase.merge` folds the shard stores back into one database
-record-identical to a single-host run.  The paper's experiment drivers
+record-identical to a single-host run — :meth:`SweepRunner.orchestrate`
+(backend ``shard-workers``) automates that dispatch-monitor-merge cycle
+locally, with a worker-command hook for remote fan-out.  The paper's
+experiment drivers
 (:mod:`repro.experiments`) and the ``repro sweep`` CLI are thin layers over
 this package.
 
@@ -30,6 +34,17 @@ Quickstart::
 """
 
 from repro.runner.atomic import atomic_write_text
+from repro.runner.backends import (
+    BACKEND_FACTORIES,
+    ExecutionBackend,
+    OrchestrationReport,
+    ProcessPoolBackend,
+    SerialBackend,
+    ShardWorkerBackend,
+    WorkerOutcome,
+    WorkerPlan,
+    make_backend,
+)
 from repro.runner.cache import (
     CacheStats,
     CharacterizationCache,
@@ -67,6 +82,15 @@ from repro.runner.store import (
 
 __all__ = [
     "atomic_write_text",
+    "BACKEND_FACTORIES",
+    "ExecutionBackend",
+    "OrchestrationReport",
+    "ProcessPoolBackend",
+    "SerialBackend",
+    "ShardWorkerBackend",
+    "WorkerOutcome",
+    "WorkerPlan",
+    "make_backend",
     "CacheStats",
     "CharacterizationCache",
     "SystemCache",

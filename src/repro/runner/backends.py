@@ -1,0 +1,622 @@
+"""Pluggable execution backends for the sweep engine.
+
+The :class:`~repro.runner.engine.SweepRunner` decides *what* to run — which
+points, what to characterise, what lands in which store — but delegates *how*
+the points execute to an :class:`ExecutionBackend`.  Three backends ship:
+
+:class:`SerialBackend`
+    Plans every point in-process, one after the other.
+:class:`ProcessPoolBackend`
+    The ``jobs=N`` ``multiprocessing`` pool: order-preserving ``map`` over
+    the points, workers seeded with the parent's warm system cache, so a
+    pool run is byte-for-byte identical to a serial one.
+:class:`ShardWorkerBackend`
+    The local stand-in for SSH/CI fan-out: partitions a grid with
+    :meth:`SweepSpec.shard <repro.runner.spec.SweepSpec.shard>`, spawns one
+    detached ``repro sweep --shard-index i --shard-count n --store``
+    subprocess per shard (each writing its own
+    :class:`~repro.runner.db.SweepDatabase`), monitors them, and folds the
+    shard stores into the target store with
+    :meth:`SweepDatabase.merge_all <repro.runner.db.SweepDatabase.merge_all>`
+    (``carry_history=True``, so per-shard run trajectories survive the
+    merge).  A ``worker_command`` hook rewrites the spawned command line,
+    which is where a remote dispatcher (``ssh host ...``, a CI job
+    submitter) slots in.
+
+Backends differ in *capability*, not just speed: the first two execute
+arbitrary point sequences in-process (``supports_inline``) and therefore
+serve every ``SweepRunner`` entry point, while the shard-worker backend only
+orchestrates whole grids into a store (``supports_orchestration``) — the
+runner checks the capability at the call site and fails with a clear
+:class:`~repro.errors.ConfigurationError` instead of mis-executing.
+
+New execution scenarios (an SSH pool, a batch-queue submitter, an async
+in-process executor) are new :class:`ExecutionBackend` subclasses registered
+in :data:`BACKEND_FACTORIES`; the engine itself needs no further surgery.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro.errors import ConfigurationError, OrchestrationError
+from repro.runner.cache import SystemCache
+from repro.runner.spec import SHARD_STRATEGIES, SweepPoint, SweepSpec, make_scheduler
+from repro.schedule.planner import TestPlanner
+from repro.schedule.result import ScheduleResult
+
+if TYPE_CHECKING:  # imported lazily at runtime (db imports the store layer)
+    from repro.runner.db import MergeReport, SweepDatabase
+
+
+def execute_point(point: SweepPoint, system_cache: SystemCache) -> ScheduleResult:
+    """Plan one sweep point, building its system through ``system_cache``."""
+    system = system_cache.get(
+        point.system,
+        flit_width=point.flit_width,
+        pattern_penalty=point.pattern_penalty,
+    )
+    planner = TestPlanner(system, scheduler=make_scheduler(point.scheduler))
+    return planner.plan(
+        reused_processors=point.reused_processors,
+        power_limit_fraction=point.power_limit_fraction,
+        label=point.label,
+    )
+
+
+#: Per-process system cache used by pool workers.  The pool initializer
+#: replaces it with a copy of the parent runner's warm cache, so workers
+#: never rebuild a system the parent already built.
+_WORKER_SYSTEM_CACHE = SystemCache()
+
+
+def _init_worker(cache: SystemCache) -> None:
+    global _WORKER_SYSTEM_CACHE
+    _WORKER_SYSTEM_CACHE = cache
+
+
+def _pool_worker(point: SweepPoint) -> ScheduleResult:
+    return execute_point(point, _WORKER_SYSTEM_CACHE)
+
+
+@dataclass(frozen=True)
+class WorkerPlan:
+    """One planned shard worker (what :class:`ShardWorkerBackend` will spawn).
+
+    Attributes:
+        shard_index: which shard of the grid this worker executes.
+        shard_count: total number of shards the grid is split into.
+        spec_path: JSON file holding the sweep spec (``SweepSpec.to_dict``).
+        store_path: sqlite store the worker writes its shard into.
+        log_path: file capturing the worker's stdout/stderr.
+        argv: the default local command line.  A ``worker_command`` hook
+            receives this plan and may return a different command (e.g.
+            ``["ssh", host, *plan.argv]``) — the dispatch seam for remote
+            fan-out.
+    """
+
+    shard_index: int
+    shard_count: int
+    spec_path: Path
+    store_path: Path
+    log_path: Path
+    argv: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class WorkerOutcome:
+    """One finished shard worker."""
+
+    shard_index: int
+    shard_count: int
+    store_path: Path
+    log_path: Path
+    returncode: int
+
+
+@dataclass(frozen=True)
+class OrchestrationReport:
+    """The outcome of one orchestrated grid run.
+
+    Attributes:
+        spec: the grid that was orchestrated.
+        spec_key: the spec's content key in the target store.
+        workers: every shard worker, in shard order.
+        merge_reports: one merge report per shard store, in shard order.
+        record_count: current records the target store holds for the spec.
+        run_count: runs the target store holds for the spec — with history
+            carried, the sum of the shard stores' run counts.
+        workdir: directory holding the shard stores, spec file and logs.
+    """
+
+    spec: SweepSpec
+    spec_key: str
+    workers: tuple[WorkerOutcome, ...]
+    merge_reports: tuple["MergeReport", ...]
+    record_count: int
+    run_count: int
+    workdir: Path
+
+
+class ExecutionBackend:
+    """Strategy interface: how a sweep's points actually execute.
+
+    Capabilities:
+
+    * ``supports_inline`` — the backend can execute an arbitrary point
+      sequence in-process and return results in point order; required by
+      :meth:`SweepRunner.run <repro.runner.engine.SweepRunner.run>`,
+      :meth:`run_stored <repro.runner.engine.SweepRunner.run_stored>` and
+      :meth:`run_shard <repro.runner.engine.SweepRunner.run_shard>`.
+    * ``supports_orchestration`` — the backend can run a whole grid into a
+      :class:`~repro.runner.db.SweepDatabase` on its own (dispatching
+      workers, merging stores); required by :meth:`SweepRunner.orchestrate
+      <repro.runner.engine.SweepRunner.orchestrate>`.
+    """
+
+    #: Canonical backend name (the ``--backend`` value).
+    name = "abstract"
+    supports_inline = False
+    supports_orchestration = False
+
+    @property
+    def worker_count(self) -> int:
+        """How many workers this backend runs points on."""
+        return 1
+
+    def execute(
+        self, points: Sequence[SweepPoint], *, system_cache: SystemCache
+    ) -> list[ScheduleResult]:
+        """Execute ``points`` in order and return one result per point.
+
+        Raises:
+            ConfigurationError: when the backend cannot execute points
+                in-process (``supports_inline`` is false).
+        """
+        raise ConfigurationError(
+            f"backend {self.name!r} cannot execute sweep points in-process"
+        )
+
+    def orchestrate(
+        self,
+        spec: SweepSpec,
+        store: "SweepDatabase",
+        *,
+        resume: bool = False,
+        characterize: bool = False,
+        packet_count: int = 200,
+        cache_dir: str | Path | None = None,
+        workdir: str | Path | None = None,
+    ) -> OrchestrationReport:
+        """Run the whole grid of ``spec`` into ``store`` via dispatched workers.
+
+        Raises:
+            ConfigurationError: when the backend cannot orchestrate
+                (``supports_orchestration`` is false).
+        """
+        raise ConfigurationError(
+            f"backend {self.name!r} cannot orchestrate a grid into a store; "
+            "use the shard-workers backend (repro orchestrate)"
+        )
+
+
+class SerialBackend(ExecutionBackend):
+    """Execute every point in-process, one after the other."""
+
+    name = "serial"
+    supports_inline = True
+
+    def execute(
+        self, points: Sequence[SweepPoint], *, system_cache: SystemCache
+    ) -> list[ScheduleResult]:
+        return [execute_point(point, system_cache) for point in points]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """Execute points on a ``multiprocessing`` pool, byte-identical to serial.
+
+    The parent pre-builds every distinct system so each worker starts from
+    the warm cache, and the order-preserving ``map`` returns results in
+    point order no matter which worker finishes first.
+
+    Args:
+        jobs: worker processes; ``None`` or 0 uses one per CPU.
+
+    Raises:
+        ConfigurationError: for a negative worker count.
+    """
+
+    name = "pool"
+    supports_inline = True
+
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is None or jobs == 0:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise ConfigurationError("jobs must be a positive worker count")
+        self.jobs = jobs
+
+    @property
+    def worker_count(self) -> int:
+        return self.jobs
+
+    def execute(
+        self, points: Sequence[SweepPoint], *, system_cache: SystemCache
+    ) -> list[ScheduleResult]:
+        if self.jobs == 1 or len(points) <= 1:
+            return [execute_point(point, system_cache) for point in points]
+        # Build every distinct system once in the parent so each worker
+        # starts from the warm cache (and the cache stats reflect one build
+        # per SoC, not one per worker).
+        for point in points:
+            system_cache.get(
+                point.system,
+                flit_width=point.flit_width,
+                pattern_penalty=point.pattern_penalty,
+            )
+        workers = min(self.jobs, len(points))
+        with multiprocessing.Pool(
+            processes=workers, initializer=_init_worker, initargs=(system_cache,)
+        ) as pool:
+            return pool.map(_pool_worker, points, chunksize=1)
+
+
+class ShardWorkerBackend(ExecutionBackend):
+    """Orchestrate a grid as detached per-shard subprocess workers.
+
+    Each worker is an independent ``repro sweep --spec-json ...
+    --shard-index i --shard-count n --store`` process writing its own sqlite
+    store; the backend monitors them and merges the shard stores into the
+    target with history carried, so the merged store's export is
+    byte-identical to a serial run's while ``repro history`` still sees one
+    run per shard.  Locally this proves out the multi-host flow; pointing
+    ``worker_command`` at a remote dispatcher turns it into real fan-out
+    without touching the engine.
+
+    Args:
+        workers: number of shards (and worker processes) per grid.
+        strategy: shard partition strategy (see :meth:`SweepSpec.shard
+            <repro.runner.spec.SweepSpec.shard>`).
+        worker_command: optional hook mapping a :class:`WorkerPlan` to the
+            command line actually spawned (default: the plan's local argv).
+        python: interpreter for the default local command
+            (default: ``sys.executable``).
+        timeout: seconds to wait for all workers before killing the
+            stragglers and raising (``None`` waits forever).
+        poll_interval: seconds between liveness polls.
+
+    Raises:
+        ConfigurationError: for a non-positive worker count or an unknown
+            shard strategy.
+    """
+
+    name = "shard-workers"
+    supports_orchestration = True
+
+    def __init__(
+        self,
+        workers: int = 2,
+        *,
+        strategy: str = "contiguous",
+        worker_command: Callable[[WorkerPlan], Sequence[str]] | None = None,
+        python: str | None = None,
+        timeout: float | None = None,
+        poll_interval: float = 0.05,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError("shard workers must be a positive worker count")
+        if strategy not in SHARD_STRATEGIES:
+            known = ", ".join(SHARD_STRATEGIES)
+            raise ConfigurationError(
+                f"unknown shard strategy {strategy!r}; known strategies: {known}"
+            )
+        self.workers = workers
+        self.strategy = strategy
+        self.worker_command = worker_command
+        self.python = python or sys.executable
+        self.timeout = timeout
+        self.poll_interval = poll_interval
+
+    @property
+    def worker_count(self) -> int:
+        return self.workers
+
+    # ------------------------------------------------------------------
+    # Planning.
+    # ------------------------------------------------------------------
+    def plan_workers(
+        self,
+        spec: SweepSpec,
+        workdir: Path,
+        *,
+        resume: bool = False,
+        characterize: bool = False,
+        packet_count: int = 200,
+        cache_dir: str | Path | None = None,
+    ) -> list[WorkerPlan]:
+        """Lay out the shard workers for ``spec`` under ``workdir``.
+
+        Writes the spec as JSON once (workers rebuild it with
+        ``repro sweep --spec-json``, so arbitrary grids orchestrate — not
+        just the ones expressible through grid flags) and plans one worker
+        per shard, each with its own store and log file.  Everything lands
+        in a per-grid subdirectory (keyed by the spec's content hash), so
+        one ``workdir`` serves any number of orchestrated grids without
+        their shard stores colliding.
+        """
+        workdir = workdir / spec.content_key()[:12]
+        workdir.mkdir(parents=True, exist_ok=True)
+        spec_path = workdir / "spec.json"
+        spec_path.write_text(
+            json.dumps(spec.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        plans = []
+        for index in range(self.workers):
+            store_path = workdir / f"shard-{index}-of-{self.workers}.db"
+            argv = [
+                self.python,
+                "-m",
+                "repro.cli",
+                "sweep",
+                "--spec-json",
+                str(spec_path),
+                "--store",
+                str(store_path),
+                "--shard-index",
+                str(index),
+                "--shard-count",
+                str(self.workers),
+                "--shard-strategy",
+                self.strategy,
+            ]
+            if resume:
+                argv.append("--resume")
+            if characterize:
+                argv.extend(["--packets", str(packet_count)])
+            else:
+                argv.append("--no-characterize")
+            if cache_dir is not None:
+                argv.extend(["--cache-dir", str(cache_dir)])
+            plans.append(
+                WorkerPlan(
+                    shard_index=index,
+                    shard_count=self.workers,
+                    spec_path=spec_path,
+                    store_path=store_path,
+                    log_path=workdir / f"shard-{index}.log",
+                    argv=tuple(argv),
+                )
+            )
+        return plans
+
+    # ------------------------------------------------------------------
+    # Orchestration.
+    # ------------------------------------------------------------------
+    def orchestrate(
+        self,
+        spec: SweepSpec,
+        store: "SweepDatabase",
+        *,
+        resume: bool = False,
+        characterize: bool = False,
+        packet_count: int = 200,
+        cache_dir: str | Path | None = None,
+        workdir: str | Path | None = None,
+    ) -> OrchestrationReport:
+        """Fan the grid out over shard workers and merge the results.
+
+        The shard stores are merged with ``carry_history=True``: every
+        shard-side run lands in the target (run ids remapped), so the
+        target's run count grows by the sum of the shard run counts while
+        its exported document stays byte-identical to a serial full run's.
+
+        Args:
+            spec: the grid to orchestrate.
+            store: target store the merged shard results land in.
+            resume: forward ``--resume`` to the workers (effective when the
+                shard stores of an earlier run persist under ``workdir``).
+            characterize / packet_count / cache_dir: the runner's
+                characterisation settings, forwarded as worker flags.
+            workdir: directory for shard stores, the spec file and worker
+                logs; defaults to a fresh temporary directory (kept on
+                failure so the logs stay inspectable, referenced in the
+                raised error).
+
+        Raises:
+            OrchestrationError: when a worker exits non-zero (its log tail
+                is included) or the timeout expires.
+            ResultStoreError: when the returned shard stores fail merge
+                validation (conflicting records, foreign spec keys).
+        """
+        from repro.runner.db import SweepDatabase
+
+        if workdir is None:
+            workdir = Path(tempfile.mkdtemp(prefix="repro-orchestrate-"))
+        else:
+            workdir = Path(workdir)
+        plans = self.plan_workers(
+            spec,
+            workdir,
+            resume=resume,
+            characterize=characterize,
+            packet_count=packet_count,
+            cache_dir=cache_dir,
+        )
+        outcomes = self._dispatch(plans)
+        failed = [outcome for outcome in outcomes if outcome.returncode != 0]
+        if failed:
+            details = "; ".join(
+                f"shard {outcome.shard_index}/{outcome.shard_count} exited "
+                f"{outcome.returncode}: {_log_tail(outcome.log_path)}"
+                for outcome in failed
+            )
+            raise OrchestrationError(
+                f"{len(failed)} of {len(outcomes)} shard worker(s) failed "
+                f"(logs under {workdir}): {details}"
+            )
+
+        spec_key = store.ensure_sweep(spec)
+        shard_stores = [SweepDatabase(plan.store_path) for plan in plans]
+        try:
+            merge_reports = store.merge_all(
+                shard_stores, expect_spec_key=spec_key, carry_history=True
+            )
+        finally:
+            for shard in shard_stores:
+                shard.close()
+        return OrchestrationReport(
+            spec=spec,
+            spec_key=spec_key,
+            workers=tuple(outcomes),
+            merge_reports=merge_reports,
+            record_count=store.record_count(spec_key),
+            run_count=store.run_count(spec_key),
+            workdir=workdir,
+        )
+
+    def _dispatch(self, plans: Sequence[WorkerPlan]) -> list[WorkerOutcome]:
+        """Spawn every planned worker detached and wait for all of them."""
+        env = os.environ.copy()
+        # Workers must import the same `repro` as the parent even when the
+        # package is not installed (the PYTHONPATH=src development setup).
+        src_root = str(Path(__file__).resolve().parent.parent.parent)
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_root if not existing else os.pathsep.join([src_root, existing])
+        )
+
+        processes: list[tuple[WorkerPlan, subprocess.Popen]] = []
+        log_files = []
+        try:
+            for plan in plans:
+                argv = (
+                    list(self.worker_command(plan))
+                    if self.worker_command is not None
+                    else list(plan.argv)
+                )
+                log_file = open(plan.log_path, "wb")
+                log_files.append(log_file)
+                processes.append(
+                    (
+                        plan,
+                        subprocess.Popen(
+                            argv,
+                            stdout=log_file,
+                            stderr=subprocess.STDOUT,
+                            stdin=subprocess.DEVNULL,
+                            env=env,
+                            start_new_session=True,
+                        ),
+                    )
+                )
+            deadline = None if self.timeout is None else time.monotonic() + self.timeout
+            while any(process.poll() is None for _, process in processes):
+                if deadline is not None and time.monotonic() > deadline:
+                    stragglers = [
+                        plan.shard_index
+                        for plan, process in processes
+                        if process.poll() is None
+                    ]
+                    for _, process in processes:
+                        if process.poll() is None:
+                            process.kill()
+                    raise OrchestrationError(
+                        f"shard worker(s) {stragglers} still running after "
+                        f"{self.timeout:g}s; killed"
+                    )
+                time.sleep(self.poll_interval)
+        except BaseException:
+            for _, process in processes:
+                if process.poll() is None:
+                    process.kill()
+            raise
+        finally:
+            for _, process in processes:
+                if process.poll() is None:
+                    process.wait()
+            for log_file in log_files:
+                log_file.close()
+        return [
+            WorkerOutcome(
+                shard_index=plan.shard_index,
+                shard_count=plan.shard_count,
+                store_path=plan.store_path,
+                log_path=plan.log_path,
+                returncode=process.returncode,
+            )
+            for plan, process in processes
+        ]
+
+
+def _log_tail(path: Path, *, limit: int = 400) -> str:
+    """The last ``limit`` characters of a worker log, flattened to one line."""
+    try:
+        text = path.read_text(encoding="utf-8", errors="replace").strip()
+    except OSError:
+        return "(no log)"
+    if not text:
+        return "(empty log)"
+    tail = text[-limit:]
+    return " ".join(tail.split())
+
+
+#: Execution backends a runner can name, keyed by their canonical name.
+#: New execution scenarios register here (mirroring
+#: :data:`repro.runner.spec.SCHEDULER_FACTORIES` for schedulers).
+BACKEND_FACTORIES: dict[str, type[ExecutionBackend]] = {
+    SerialBackend.name: SerialBackend,
+    ProcessPoolBackend.name: ProcessPoolBackend,
+    ShardWorkerBackend.name: ShardWorkerBackend,
+}
+
+
+def make_backend(
+    name: str,
+    *,
+    jobs: int | None = 1,
+    workers: int = 2,
+    strategy: str = "contiguous",
+    worker_command: Callable[[WorkerPlan], Sequence[str]] | None = None,
+) -> ExecutionBackend:
+    """Instantiate the execution backend called ``name``.
+
+    ``jobs`` configures the pool backend, ``workers``/``strategy``/
+    ``worker_command`` the shard-worker backend; parameters that do not
+    apply to the named backend are checked, not silently dropped.
+
+    Raises:
+        ConfigurationError: for an unknown backend name, or for the serial
+            backend combined with a multi-process ``jobs`` value (that
+            contradiction almost certainly means ``--backend pool`` was
+            intended).
+    """
+    if name not in BACKEND_FACTORIES:
+        known = ", ".join(sorted(BACKEND_FACTORIES))
+        raise ConfigurationError(f"unknown backend {name!r}; known backends: {known}")
+    if name == SerialBackend.name:
+        if jobs is not None and jobs != 1:
+            raise ConfigurationError(
+                f"the serial backend runs in-process; jobs={jobs} needs the "
+                "pool backend (--backend pool)"
+            )
+        return SerialBackend()
+    if name == ProcessPoolBackend.name:
+        return ProcessPoolBackend(jobs=jobs)
+    if jobs is not None and jobs != 1:
+        raise ConfigurationError(
+            f"the shard-workers backend is sized with workers, not jobs={jobs}; "
+            "use --workers (jobs configures the in-process backends)"
+        )
+    return ShardWorkerBackend(
+        workers=workers, strategy=strategy, worker_command=worker_command
+    )

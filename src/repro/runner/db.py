@@ -15,7 +15,11 @@ Stores also compose: :meth:`SweepDatabase.merge` folds the per-shard stores
 written by :meth:`repro.runner.engine.SweepRunner.run_shard` back into one
 database — idempotent for identical overlaps, refusing conflicting records —
 such that an N-shard run merges into a store byte-identical (via
-:meth:`export_document`) to a serial full run's.
+:meth:`export_document`) to a serial full run's.  With ``carry_history=True``
+the merge additionally carries every shard-side run across (run ids
+remapped onto this store's sequence), so orchestrated runs keep their
+per-shard history trajectories — the default for
+:meth:`repro.runner.engine.SweepRunner.orchestrate`.
 
 Layout (``schema v2``; v1 is the JSON document format):
 
@@ -43,6 +47,7 @@ format via :meth:`import_document` / :meth:`export_document`.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import sqlite3
 from dataclasses import dataclass
@@ -112,17 +117,51 @@ class MergeReport:
     Attributes:
         spec_keys: spec keys of the source store's sweeps, in its order.
         inserted: records newly added to the target store.
-        identical: records skipped because the target already held a
-            byte-identical current record for their point.
+        identical: records skipped because the target already held them —
+            a byte-identical current record for the point (current-record
+            merge), or the whole run they belong to (history-carrying
+            merge).
+        runs_carried: source runs copied into the target under fresh run
+            ids (always 0 without ``carry_history``).
     """
 
     spec_keys: tuple[str, ...]
     inserted: int
     identical: int
+    runs_carried: int = 0
 
 
 def _canonical_record_json(record: Mapping) -> str:
     return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _run_fingerprint(
+    spec_key: str,
+    source: str,
+    executed: int,
+    skipped: int,
+    created_at: str,
+    record_jsons: Sequence[str],
+) -> str:
+    """Content hash of one run — its row fields plus its records.
+
+    Run ids deliberately stay out: the fingerprint identifies a run across
+    stores whose id sequences differ, which is what makes history-carrying
+    merges idempotent after the ids are remapped.
+    """
+    payload = json.dumps(
+        {
+            "spec_key": spec_key,
+            "source": source,
+            "executed": executed,
+            "skipped": skipped,
+            "created_at": created_at,
+            "records": list(record_jsons),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 class SweepDatabase:
@@ -231,6 +270,7 @@ class SweepDatabase:
         executed: int,
         skipped: int,
         source: str = "sweep",
+        created_at: str | None = None,
     ) -> int:
         """Commit one run: a ``runs`` row plus its outcome records, atomically.
 
@@ -240,8 +280,13 @@ class SweepDatabase:
         row.  The run row and every record land in a single transaction, so
         a crash mid-commit leaves the store at the previous run's state.
         Returns the new run id.
+
+        ``created_at`` defaults to now; history-carrying merges pass the
+        source run's timestamp so the carried run keeps its place on the
+        history time axis.
         """
-        created_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
+        if created_at is None:
+            created_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
         with self._connection:
             cursor = self._connection.execute(
                 "INSERT INTO runs (spec_key, source, executed_points, "
@@ -286,6 +331,25 @@ class SweepDatabase:
             {"key": spec_key},
         )
         return [json.loads(row["record_json"]) for row in rows]
+
+    def run_records(self, run_id: int) -> list[dict]:
+        """Every record one run committed, ordered by sweep, then point index."""
+        rows = self._connection.execute(
+            "SELECT record_json FROM records WHERE run_id = ? "
+            "ORDER BY spec_key, point_index",
+            (run_id,),
+        )
+        return [json.loads(row["record_json"]) for row in rows]
+
+    def run_count(self, spec_key: str | None = None) -> int:
+        """Number of recorded runs (for one sweep, or the whole store)."""
+        if spec_key is None:
+            row = self._connection.execute("SELECT COUNT(*) AS n FROM runs").fetchone()
+        else:
+            row = self._connection.execute(
+                "SELECT COUNT(*) AS n FROM runs WHERE spec_key = ?", (spec_key,)
+            ).fetchone()
+        return int(row["n"])
 
     def record_count(self, spec_key: str | None = None) -> int:
         """Number of current records (for one sweep, or the whole store)."""
@@ -368,6 +432,7 @@ class SweepDatabase:
         *,
         expect_spec_key: str | None = None,
         source: str | None = None,
+        carry_history: bool = False,
     ) -> MergeReport:
         """Fold another store's current records into this one.
 
@@ -386,6 +451,22 @@ class SweepDatabase:
         records the merge; sweeps whose records were all already present add
         no run row.  ``other`` is never modified.
 
+        With ``carry_history``, the same validation applies but the commit
+        folds *all* of ``other``'s runs instead of one synthetic merge run:
+        each source run is copied under a fresh run id (the target's
+        autoincrement — remapping is collision-free by construction) with
+        its source label, counters, timestamp and records intact, in the
+        source's run order.  Orchestrated runs therefore keep their
+        per-shard trajectories: the merged store's :meth:`history_rows` /
+        :meth:`trajectory_rows` equal those of a store that had executed
+        the shards' runs sequentially, and its run count grows by the sum
+        of the shard run counts.  A source run the target already holds —
+        same spec, source, counters, timestamp and records — is skipped,
+        so a history-carrying merge stays idempotent.  The *current*
+        records after the merge are the same either way, so
+        :meth:`export_document` byte-identity with a serial run holds with
+        and without history.
+
         This is the reduce step of sharded execution: merging the shard
         stores written by :meth:`SweepRunner.run_shard
         <repro.runner.engine.SweepRunner.run_shard>` for every shard of a
@@ -399,13 +480,19 @@ class SweepDatabase:
             other: the source store.
             expect_spec_key: when set, every sweep of ``other`` must carry
                 this spec key — merging a shard of a different grid aborts.
-            source: override for the runs-table source label.
+            source: override for the runs-table source label (ignored with
+                ``carry_history``, which preserves the source runs' labels).
+            carry_history: fold every source run (remapped) instead of only
+                the current records.
 
         Raises:
             ResultStoreError: for a spec-key mismatch, a conflicting
                 record, or a source store that fails its integrity checks.
         """
         planned = self._plan_merge({}, other, expect_spec_key)
+        if carry_history:
+            spec_keys = {sweep.spec_key for sweep, _, _ in planned}
+            return self._commit_carry(planned, other, self._run_fingerprints(spec_keys))
         return self._commit_merge(
             planned, source if source is not None else f"merge:{other.path.name}"
         )
@@ -415,6 +502,7 @@ class SweepDatabase:
         others: Sequence["SweepDatabase"],
         *,
         expect_spec_key: str | None = None,
+        carry_history: bool = False,
     ) -> tuple[MergeReport, ...]:
         """Fold several stores in, validating ALL of them before writing.
 
@@ -422,7 +510,9 @@ class SweepDatabase:
         against this store *or between two sources* — aborts before a
         single record lands, so a failed multi-shard merge leaves the
         target exactly as it was.  Returns one :class:`MergeReport` per
-        source, in order.
+        source, in order.  ``carry_history`` behaves as in :meth:`merge`,
+        applied per source in order — the carried runs land in source
+        order, as if the shards had executed sequentially on one host.
 
         Raises:
             ResultStoreError: as :meth:`merge`; nothing is written when
@@ -430,6 +520,13 @@ class SweepDatabase:
         """
         state: dict[str, dict[int, str]] = {}
         plans = [self._plan_merge(state, other, expect_spec_key) for other in others]
+        if carry_history:
+            spec_keys = {sweep.spec_key for planned in plans for sweep, _, _ in planned}
+            fingerprints = self._run_fingerprints(spec_keys)
+            return tuple(
+                self._commit_carry(planned, other, fingerprints)
+                for other, planned in zip(others, plans)
+            )
         return tuple(
             self._commit_merge(planned, f"merge:{other.path.name}")
             for other, planned in zip(others, plans)
@@ -507,6 +604,81 @@ class SweepDatabase:
             spec_keys=tuple(sweep.spec_key for sweep, _, _ in planned),
             inserted=inserted,
             identical=identical_total,
+        )
+
+    def _run_fingerprints(self, spec_keys: set[str]) -> set[str]:
+        """Fingerprints of this store's runs for ``spec_keys`` (carry idempotency).
+
+        Only the sweeps being merged matter — runs of other sweeps can never
+        match an incoming run's fingerprint, so they are not rehydrated (the
+        cost stays proportional to the merged grids, not the whole store).
+        """
+        return {
+            _run_fingerprint(
+                run.spec_key,
+                run.source,
+                run.executed_points,
+                run.skipped_points,
+                run.created_at,
+                [_canonical_record_json(r) for r in self.run_records(run.run_id)],
+            )
+            for run in self.runs()
+            if run.spec_key in spec_keys
+        }
+
+    def _commit_carry(
+        self,
+        planned: Sequence[tuple[StoredSweep, list[Mapping], int]],
+        other: "SweepDatabase",
+        fingerprints: set[str],
+    ) -> MergeReport:
+        """Commit a validated merge plan by carrying the source's runs over.
+
+        Every run of ``other`` whose sweep is part of the plan is re-recorded
+        here under a fresh run id — source label, counters and timestamp
+        preserved, records re-inserted under the new id — in the source's
+        run order, so the target's history reads as if those runs had
+        executed here.  Runs whose fingerprint is already present (a
+        re-merge of the same shard) are skipped; ``fingerprints`` is shared
+        across the sources of one :meth:`merge_all` batch so duplicates
+        between sources are caught too.
+        """
+        wanted = set()
+        for sweep, _, _ in planned:
+            self.ensure_sweep(sweep.spec)
+            wanted.add(sweep.spec_key)
+        inserted = identical = runs_carried = 0
+        for run in other.runs():
+            if run.spec_key not in wanted:
+                continue
+            records = other.run_records(run.run_id)
+            fingerprint = _run_fingerprint(
+                run.spec_key,
+                run.source,
+                run.executed_points,
+                run.skipped_points,
+                run.created_at,
+                [_canonical_record_json(r) for r in records],
+            )
+            if fingerprint in fingerprints:
+                identical += len(records)
+                continue
+            fingerprints.add(fingerprint)
+            self.record_run(
+                run.spec_key,
+                records,
+                executed=run.executed_points,
+                skipped=run.skipped_points,
+                source=run.source,
+                created_at=run.created_at,
+            )
+            runs_carried += 1
+            inserted += len(records)
+        return MergeReport(
+            spec_keys=tuple(sweep.spec_key for sweep, _, _ in planned),
+            inserted=inserted,
+            identical=identical,
+            runs_carried=runs_carried,
         )
 
     # ------------------------------------------------------------------

@@ -1,16 +1,22 @@
 """The sweep engine: executes a :class:`~repro.runner.spec.SweepSpec`.
 
-:class:`SweepRunner` expands a spec into its deterministic point sequence and
-plans every point, either serially or on a ``multiprocessing`` pool.  The
-output order is the spec's point order in both modes — the pool maps over the
-points with order-preserving ``map``, so a parallel run is byte-for-byte
-equivalent to a serial one (see ``tests/runner/test_engine.py``).
+:class:`SweepRunner` expands a spec into its deterministic point sequence,
+plans what must run, and delegates *how* the points execute to a pluggable
+:class:`~repro.runner.backends.ExecutionBackend` — in-process
+(:class:`~repro.runner.backends.SerialBackend`), on a ``multiprocessing``
+pool (:class:`~repro.runner.backends.ProcessPoolBackend`; order-preserving
+``map``, so a parallel run is byte-for-byte equivalent to a serial one — see
+``tests/runner/test_engine.py``), or fanned out as per-shard subprocess
+workers (:class:`~repro.runner.backends.ShardWorkerBackend`, via
+:meth:`SweepRunner.orchestrate`).  The output order is the spec's point
+order on every backend.
 
 Grids can also be executed in pieces: :meth:`SweepRunner.run_shard` runs one
 deterministic shard of the point order (``SweepSpec.shard``) into its own
 sqlite store, and :meth:`repro.runner.db.SweepDatabase.merge` folds the shard
 stores back into a single database record-identical to a full single-host
-run — the building block of distributed sweeps.
+run — the building block of distributed sweeps, and what
+:meth:`SweepRunner.orchestrate` automates end to end.
 
 System builds go through a :class:`~repro.runner.cache.SystemCache` — one
 build per SoC instead of one per point; parallel runs pre-build in the
@@ -22,7 +28,6 @@ under ``cache_dir``.
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 from dataclasses import dataclass
 from pathlib import Path
@@ -30,13 +35,25 @@ from typing import TYPE_CHECKING, Sequence
 
 from repro.errors import ConfigurationError
 from repro.noc.characterization import NocCharacterization
+from repro.runner.backends import (
+    ExecutionBackend,
+    OrchestrationReport,
+    execute_point,
+    make_backend,
+)
 from repro.runner.cache import CharacterizationCache, SystemCache
-from repro.runner.spec import SweepPoint, SweepSpec, make_scheduler
-from repro.schedule.planner import TestPlanner
+from repro.runner.spec import SweepPoint, SweepSpec
 from repro.schedule.result import ScheduleResult
 
 if TYPE_CHECKING:  # imported lazily at runtime (db imports the store layer)
     from repro.runner.db import SweepDatabase
+
+__all__ = [
+    "StoreRunReport",
+    "SweepOutcome",
+    "SweepRunner",
+    "execute_point",
+]
 
 
 @dataclass(frozen=True)
@@ -86,36 +103,6 @@ class SweepOutcome:
         return record
 
 
-def execute_point(point: SweepPoint, system_cache: SystemCache) -> ScheduleResult:
-    """Plan one sweep point, building its system through ``system_cache``."""
-    system = system_cache.get(
-        point.system,
-        flit_width=point.flit_width,
-        pattern_penalty=point.pattern_penalty,
-    )
-    planner = TestPlanner(system, scheduler=make_scheduler(point.scheduler))
-    return planner.plan(
-        reused_processors=point.reused_processors,
-        power_limit_fraction=point.power_limit_fraction,
-        label=point.label,
-    )
-
-
-#: Per-process system cache used by pool workers.  The pool initializer
-#: replaces it with a copy of the parent runner's warm cache, so workers
-#: never rebuild a system the parent already built.
-_WORKER_SYSTEM_CACHE = SystemCache()
-
-
-def _init_worker(cache: SystemCache) -> None:
-    global _WORKER_SYSTEM_CACHE
-    _WORKER_SYSTEM_CACHE = cache
-
-
-def _pool_worker(point: SweepPoint) -> ScheduleResult:
-    return execute_point(point, _WORKER_SYSTEM_CACHE)
-
-
 @dataclass(frozen=True)
 class StoreRunReport:
     """The outcome of one store-backed (optionally resumed) sweep run.
@@ -154,11 +141,18 @@ class StoreRunReport:
 
 
 class SweepRunner:
-    """Executes sweep specs with caching and optional parallelism.
+    """Executes sweep specs with caching through a pluggable backend.
 
     Args:
         jobs: worker processes; 1 (default) runs in-process, ``None`` or 0
-            uses one worker per CPU.
+            uses one worker per CPU.  Shorthand for the default backend
+            selection: ``jobs == 1`` picks the serial backend, anything
+            else the process pool.
+        backend: the execution backend — an
+            :class:`~repro.runner.backends.ExecutionBackend` instance or a
+            registered backend name (see
+            :data:`~repro.runner.backends.BACKEND_FACTORIES`); overrides
+            the ``jobs`` shorthand.
         cache_dir: directory for persisted characterisation records
             (``None`` keeps the characterisation cache in memory only).
         characterize: characterise each distinct NoC once and attach the
@@ -166,12 +160,18 @@ class SweepRunner:
         packet_count: size of the characterisation packet campaign.
         system_cache: share a prebuilt :class:`SystemCache` across runners
             (defaults to a fresh cache per runner).
+
+    Raises:
+        ConfigurationError: for a negative worker count, an unknown backend
+            name, or a backend/jobs contradiction (serial backend with
+            ``jobs > 1``).
     """
 
     def __init__(
         self,
         *,
         jobs: int | None = 1,
+        backend: ExecutionBackend | str | None = None,
         cache_dir: str | Path | None = None,
         characterize: bool = False,
         packet_count: int = 200,
@@ -181,18 +181,40 @@ class SweepRunner:
             jobs = os.cpu_count() or 1
         if jobs < 1:
             raise ConfigurationError("jobs must be a positive worker count")
-        self.jobs = jobs
+        if backend is None:
+            backend = "serial" if jobs == 1 else "pool"
+        if isinstance(backend, str):
+            backend = make_backend(backend, jobs=jobs)
+        self.backend = backend
+        self.jobs = backend.worker_count
         self.characterize = characterize
         self.packet_count = packet_count
+        self.cache_dir = cache_dir
         # Not `system_cache or ...`: an empty SystemCache is falsy (__len__).
         self.system_cache = system_cache if system_cache is not None else SystemCache()
         self.characterization_cache = CharacterizationCache(cache_dir)
+
+    def _require_inline(self, method: str) -> None:
+        """Fail fast when the configured backend cannot serve ``method``."""
+        if not self.backend.supports_inline:
+            raise ConfigurationError(
+                f"backend {self.backend.name!r} cannot execute sweep points "
+                f"in-process, which {method} requires; use it through "
+                "SweepRunner.orchestrate (repro orchestrate), or pick the "
+                "serial or pool backend"
+            )
 
     # ------------------------------------------------------------------
     # Execution.
     # ------------------------------------------------------------------
     def run(self, spec: SweepSpec) -> list[SweepOutcome]:
-        """Execute every point of ``spec`` and return outcomes in point order."""
+        """Execute every point of ``spec`` and return outcomes in point order.
+
+        Raises:
+            ConfigurationError: when the configured backend cannot execute
+                points in-process (e.g. the shard-worker backend).
+        """
+        self._require_inline("run()")
         return self._run_points(spec.points())
 
     def run_stored(
@@ -215,7 +237,12 @@ class SweepRunner:
 
         The executed records are committed to the store in one transaction
         together with a ``runs`` row holding the executed/skipped counters.
+
+        Raises:
+            ConfigurationError: when the configured backend cannot execute
+                points in-process (e.g. the shard-worker backend).
         """
+        self._require_inline("run_stored()")
         return self._run_into_store(
             spec, store, spec.points(), resume=resume, source="sweep", shard=None
         )
@@ -248,8 +275,11 @@ class SweepRunner:
 
         Raises:
             ConfigurationError: for an invalid shard index/count/strategy
-                (see :meth:`SweepSpec.shard <repro.runner.spec.SweepSpec.shard>`).
+                (see :meth:`SweepSpec.shard <repro.runner.spec.SweepSpec.shard>`),
+                or when the configured backend cannot execute points
+                in-process (e.g. the shard-worker backend).
         """
+        self._require_inline("run_shard()")
         points = spec.shard(shard_index, shard_count, strategy=strategy)
         return self._run_into_store(
             spec,
@@ -258,6 +288,47 @@ class SweepRunner:
             resume=resume,
             source=f"shard:{shard_index}/{shard_count}",
             shard=(shard_index, shard_count),
+        )
+
+    def orchestrate(
+        self,
+        spec: SweepSpec,
+        store: "SweepDatabase",
+        *,
+        resume: bool = False,
+        workdir: str | Path | None = None,
+    ) -> OrchestrationReport:
+        """Run the whole grid of ``spec`` into ``store`` via the backend's workers.
+
+        The orchestration counterpart of :meth:`run_stored`: the backend
+        partitions the grid, dispatches one worker per shard (each into its
+        own store), and merges the shard stores into ``store`` with history
+        carried — the merged store exports byte-identical to a serial full
+        run, and its run count equals the sum of the shard run counts.  The
+        runner's characterisation settings (``characterize``,
+        ``packet_count``, ``cache_dir``) are forwarded to the workers so an
+        orchestrated run is configured exactly like an in-process one.
+
+        Raises:
+            ConfigurationError: when the configured backend cannot
+                orchestrate (only the shard-worker backend can).
+            OrchestrationError: when a worker fails or times out.
+            ResultStoreError: when the shard stores fail merge validation.
+        """
+        if not self.backend.supports_orchestration:
+            raise ConfigurationError(
+                f"backend {self.backend.name!r} cannot orchestrate a grid "
+                "into a store; pick the shard-workers backend "
+                "(repro orchestrate / --backend shard-workers)"
+            )
+        return self.backend.orchestrate(
+            spec,
+            store,
+            resume=resume,
+            characterize=self.characterize,
+            packet_count=self.packet_count,
+            cache_dir=self.cache_dir,
+            workdir=workdir,
         )
 
     def _run_into_store(
@@ -320,10 +391,7 @@ class SweepRunner:
     def _run_points(self, points: Sequence[SweepPoint]) -> list[SweepOutcome]:
         """Characterise and execute ``points``, returning outcomes in order."""
         characterizations = self._characterize_systems(points)
-        if self.jobs == 1 or len(points) <= 1:
-            results = [execute_point(point, self.system_cache) for point in points]
-        else:
-            results = self._run_parallel(points)
+        results = self.backend.execute(points, system_cache=self.system_cache)
         return [
             SweepOutcome(
                 point=point,
@@ -338,24 +406,6 @@ class SweepRunner:
             )
             for point, result in zip(points, results)
         ]
-
-    def _run_parallel(self, points: Sequence[SweepPoint]) -> list[ScheduleResult]:
-        # Build every distinct system once in the parent so each worker
-        # starts from the warm cache (and the cache stats reflect one build
-        # per SoC, not one per worker).
-        for point in points:
-            self.system_cache.get(
-                point.system,
-                flit_width=point.flit_width,
-                pattern_penalty=point.pattern_penalty,
-            )
-        workers = min(self.jobs, len(points))
-        with multiprocessing.Pool(
-            processes=workers, initializer=_init_worker, initargs=(self.system_cache,)
-        ) as pool:
-            # Order-preserving map: results come back in point order no
-            # matter which worker finishes first.
-            return pool.map(_pool_worker, points, chunksize=1)
 
     def _characterize_systems(
         self, points: Sequence[SweepPoint]

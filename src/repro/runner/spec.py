@@ -282,7 +282,10 @@ class SweepSpec:
         executed shard-by-shard (:meth:`~repro.runner.engine.SweepRunner.run_shard`)
         land in a store exactly where a full run would have put them, and
         merged shard stores (:meth:`~repro.runner.db.SweepDatabase.merge`)
-        are record-identical to a single-host run.
+        are record-identical to a single-host run.  ``count`` may exceed the
+        number of points — the surplus shards are simply empty, and an empty
+        shard runs, stores and merges like any other (an over-provisioned
+        worker fleet must not fail).
 
         Args:
             index: which shard, ``0 <= index < count``.
@@ -301,7 +304,8 @@ class SweepSpec:
             raise ConfigurationError("shard count must be a positive number of shards")
         if not 0 <= index < count:
             raise ConfigurationError(
-                f"shard index {index} is out of range for {count} shard(s)"
+                f"shard index {index} is out of range for {count} shard(s): "
+                "shard_index must satisfy 0 <= shard_index < shard_count"
             )
         if strategy not in SHARD_STRATEGIES:
             known = ", ".join(SHARD_STRATEGIES)

@@ -1,0 +1,253 @@
+"""Tests of the pluggable execution backends and the shard-worker orchestrator."""
+
+import sys
+
+import pytest
+
+from repro.errors import ConfigurationError, OrchestrationError
+from repro.runner.backends import (
+    BACKEND_FACTORIES,
+    ProcessPoolBackend,
+    SerialBackend,
+    ShardWorkerBackend,
+    make_backend,
+)
+from repro.runner.db import SweepDatabase
+from repro.runner.engine import SweepRunner
+from repro.runner.spec import SweepSpec
+from repro.runner.store import dump_sweep, save_sweeps
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    return SweepSpec(
+        name="backend-grid",
+        systems=("d695_leon",),
+        processor_counts=(0, 2),
+        power_limits=(("no power limit", None),),
+    )
+
+
+class TestRegistry:
+    def test_all_backends_registered(self):
+        assert set(BACKEND_FACTORIES) == {"serial", "pool", "shard-workers"}
+
+    def test_make_backend_by_name(self):
+        assert isinstance(make_backend("serial"), SerialBackend)
+        assert isinstance(make_backend("pool", jobs=3), ProcessPoolBackend)
+        assert isinstance(make_backend("shard-workers", workers=4), ShardWorkerBackend)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown backend"):
+            make_backend("quantum")
+
+    def test_serial_with_multiple_jobs_rejected(self):
+        """jobs > 1 next to the serial backend is a contradiction, not a
+        silently ignored flag."""
+        with pytest.raises(ConfigurationError, match="pool"):
+            make_backend("serial", jobs=4)
+
+    def test_pool_jobs_resolution(self):
+        assert make_backend("pool", jobs=None).worker_count >= 1
+        assert make_backend("pool", jobs=5).worker_count == 5
+        with pytest.raises(ConfigurationError, match="positive"):
+            make_backend("pool", jobs=-1)
+
+    def test_shard_worker_validation(self):
+        with pytest.raises(ConfigurationError, match="positive"):
+            ShardWorkerBackend(workers=0)
+        with pytest.raises(ConfigurationError, match="strategy"):
+            ShardWorkerBackend(workers=2, strategy="random")
+
+
+class TestRunnerBackendSelection:
+    def test_jobs_shorthand_selects_backend(self):
+        assert SweepRunner(jobs=1).backend.name == "serial"
+        assert SweepRunner(jobs=3).backend.name == "pool"
+        assert SweepRunner(jobs=3).jobs == 3
+
+    def test_backend_name_accepted(self):
+        assert SweepRunner(backend="serial").backend.name == "serial"
+        assert SweepRunner(jobs=2, backend="pool").jobs == 2
+
+    def test_backend_instance_accepted(self):
+        backend = ShardWorkerBackend(workers=3)
+        runner = SweepRunner(backend=backend)
+        assert runner.backend is backend
+        assert runner.jobs == 3
+
+
+class TestBackendEquivalence:
+    def test_pool_backend_byte_identical_to_serial(self, small_spec):
+        serial = SweepRunner(backend=SerialBackend()).run(small_spec)
+        pooled = SweepRunner(backend=ProcessPoolBackend(jobs=2)).run(small_spec)
+        assert dump_sweep(small_spec, pooled) == dump_sweep(small_spec, serial)
+
+    def test_pool_backend_with_one_job_runs_inline(self, small_spec):
+        """jobs=1 on the pool backend must not spawn a pool (the serial
+        shortcut the engine used to apply lives in the backend now)."""
+        runner = SweepRunner(backend=ProcessPoolBackend(jobs=1))
+        outcomes = runner.run(small_spec)
+        assert len(outcomes) == small_spec.point_count
+
+
+class TestCapabilityChecks:
+    def test_shard_workers_cannot_run_inline(self, small_spec, tmp_path):
+        runner = SweepRunner(backend=ShardWorkerBackend(workers=2))
+        with pytest.raises(ConfigurationError, match="in-process"):
+            runner.run(small_spec)
+        with SweepDatabase(tmp_path / "s.db") as db:
+            with pytest.raises(ConfigurationError, match="in-process"):
+                runner.run_stored(small_spec, db)
+            with pytest.raises(ConfigurationError, match="in-process"):
+                runner.run_shard(small_spec, db, shard_index=0, shard_count=2)
+
+    def test_inline_backends_cannot_orchestrate(self, small_spec, tmp_path):
+        with SweepDatabase(tmp_path / "s.db") as db:
+            for backend in (SerialBackend(), ProcessPoolBackend(jobs=2)):
+                with pytest.raises(ConfigurationError, match="orchestrate"):
+                    SweepRunner(backend=backend).orchestrate(small_spec, db)
+
+
+class TestWorkerPlanning:
+    def test_plans_one_worker_per_shard(self, small_spec, tmp_path):
+        backend = ShardWorkerBackend(workers=3, strategy="strided")
+        plans = backend.plan_workers(small_spec, tmp_path)
+        assert [plan.shard_index for plan in plans] == [0, 1, 2]
+        assert len({plan.store_path for plan in plans}) == 3
+        for plan in plans:
+            assert plan.spec_path.exists()
+            assert "--spec-json" in plan.argv
+            position = plan.argv.index("--shard-index")
+            assert plan.argv[position + 1] == str(plan.shard_index)
+            assert "--shard-strategy" in plan.argv
+            assert "strided" in plan.argv
+            assert "--no-characterize" in plan.argv
+
+    def test_characterisation_settings_forwarded(self, small_spec, tmp_path):
+        backend = ShardWorkerBackend(workers=2)
+        plans = backend.plan_workers(
+            small_spec,
+            tmp_path,
+            characterize=True,
+            packet_count=40,
+            cache_dir=tmp_path / "cache",
+            resume=True,
+        )
+        for plan in plans:
+            assert "--no-characterize" not in plan.argv
+            position = plan.argv.index("--packets")
+            assert plan.argv[position + 1] == "40"
+            assert "--cache-dir" in plan.argv
+            assert "--resume" in plan.argv
+
+
+class TestShardWorkerOrchestration:
+    def test_orchestrated_d695_grid_byte_identical_to_serial(self, tmp_path):
+        """The PR's acceptance criterion: the d695 grid orchestrated over 3
+        local shard workers merges into a store whose exported document is
+        byte-identical to a serial full run's, and (history carried) the
+        merged store's run count equals the sum of the shard run counts."""
+        from repro.experiments.figure1 import figure1_spec
+
+        spec = figure1_spec("d695_leon")
+        serial = save_sweeps(
+            tmp_path / "serial.json", [(spec, SweepRunner(jobs=1).run(spec))]
+        )
+        backend = ShardWorkerBackend(workers=3)
+        runner = SweepRunner(backend=backend)
+        with SweepDatabase(tmp_path / "merged.db") as db:
+            report = runner.orchestrate(spec, db, workdir=tmp_path / "work")
+            exported = db.export_document(tmp_path / "merged.json")
+            assert db.run_count(report.spec_key) == report.run_count
+        assert exported.read_bytes() == serial.read_bytes()
+
+        assert [w.returncode for w in report.workers] == [0, 0, 0]
+        assert report.record_count == spec.point_count
+        shard_run_counts = []
+        for worker in report.workers:
+            with SweepDatabase(worker.store_path) as shard:
+                shard_run_counts.append(shard.run_count())
+        assert report.run_count == sum(shard_run_counts) == 3
+
+    def test_orchestration_with_more_workers_than_points(self, small_spec, tmp_path):
+        """An over-provisioned fleet produces empty shards, which must run,
+        store and merge like any other shard."""
+        backend = ShardWorkerBackend(workers=4)
+        with SweepDatabase(tmp_path / "merged.db") as db:
+            report = SweepRunner(backend=backend).orchestrate(
+                small_spec, db, workdir=tmp_path / "work"
+            )
+            assert report.record_count == small_spec.point_count == 2
+            assert report.run_count == 4  # empty shards still record their run
+            records = db.records(small_spec.content_key())
+        serial = [o.record() for o in SweepRunner(jobs=1).run(small_spec)]
+        assert records == serial
+
+    def test_worker_command_hook_sees_every_plan(self, small_spec, tmp_path):
+        """The dispatch seam: the hook receives each plan (with the default
+        argv) and decides the spawned command — here a pass-through, in real
+        deployments an ssh/CI wrapper."""
+        seen = []
+
+        def passthrough(plan):
+            seen.append(plan)
+            return plan.argv
+
+        backend = ShardWorkerBackend(workers=2, worker_command=passthrough)
+        with SweepDatabase(tmp_path / "merged.db") as db:
+            SweepRunner(backend=backend).orchestrate(
+                small_spec, db, workdir=tmp_path / "work"
+            )
+        assert [plan.shard_index for plan in seen] == [0, 1]
+        assert all(plan.argv[0] == sys.executable for plan in seen)
+
+    def test_failing_worker_raises_with_log_tail(self, small_spec, tmp_path):
+        def broken(plan):
+            return [
+                sys.executable,
+                "-c",
+                "import sys; print('shard exploded'); sys.exit(3)",
+            ]
+
+        backend = ShardWorkerBackend(workers=2, worker_command=broken)
+        with SweepDatabase(tmp_path / "merged.db") as db:
+            with pytest.raises(OrchestrationError, match="exited 3"):
+                SweepRunner(backend=backend).orchestrate(
+                    small_spec, db, workdir=tmp_path / "work"
+                )
+            # The failed orchestration must not have merged anything.
+            assert db.record_count() == 0
+        (log_path,) = (tmp_path / "work").rglob("shard-0.log")
+        assert "shard exploded" in log_path.read_text()
+
+    def test_hung_worker_killed_after_timeout(self, small_spec, tmp_path):
+        def hang(plan):
+            return [sys.executable, "-c", "import time; time.sleep(60)"]
+
+        backend = ShardWorkerBackend(workers=2, worker_command=hang, timeout=0.3)
+        with SweepDatabase(tmp_path / "merged.db") as db:
+            with pytest.raises(OrchestrationError, match="still running"):
+                SweepRunner(backend=backend).orchestrate(
+                    small_spec, db, workdir=tmp_path / "work"
+                )
+            assert db.record_count() == 0
+
+    def test_remerging_unchanged_shard_stores_is_a_noop(self, small_spec, tmp_path):
+        """Folding the shard stores of a finished orchestration in again must
+        carry no runs and add no records (retry safety)."""
+        backend = ShardWorkerBackend(workers=2)
+        with SweepDatabase(tmp_path / "merged.db") as db:
+            report = SweepRunner(backend=backend).orchestrate(
+                small_spec, db, workdir=tmp_path / "work"
+            )
+            run_count = db.run_count()
+            for worker in report.workers:
+                with SweepDatabase(worker.store_path) as shard:
+                    again = db.merge(shard, carry_history=True)
+                assert again.runs_carried == 0
+                assert again.inserted == 0
+            assert db.run_count() == run_count
+            assert db.records(report.spec_key) == [
+                o.record() for o in SweepRunner(jobs=1).run(small_spec)
+            ]

@@ -362,6 +362,177 @@ class TestMerge:
             assert target.record_count() == len(serial_records) + len(other_records)
 
 
+class TestCarryHistoryMerge:
+    """merge(..., carry_history=True): shard-side run trajectories survive."""
+
+    @staticmethod
+    def _shard_slices(spec, serial_records, count=3):
+        """(records, source, created_at) per shard, as 3 shard runs would
+        commit them — timestamps pinned so stores are comparable row-for-row."""
+        slices = []
+        for index in range(count):
+            indices = {p.index for p in spec.shard(index, count)}
+            slices.append(
+                (
+                    [r for r in serial_records if r["index"] in indices],
+                    f"shard:{index}/{count}",
+                    f"2026-07-0{index + 1}T00:00:00+00:00",
+                )
+            )
+        return slices
+
+    def _shard_stores(self, spec, serial_records, tmp_path, count=3):
+        paths = []
+        for index, (records, source, created_at) in enumerate(
+            self._shard_slices(spec, serial_records, count)
+        ):
+            path = tmp_path / f"carry-shard-{index}.db"
+            with SweepDatabase(path) as shard:
+                shard.record_run(
+                    shard.ensure_sweep(spec),
+                    records,
+                    executed=len(records),
+                    skipped=0,
+                    source=source,
+                    created_at=created_at,
+                )
+            paths.append(path)
+        return paths
+
+    def test_run_ids_remapped_collision_free(self, spec, serial_records, tmp_path):
+        """Every shard store numbers its run 1; carried into a target that
+        already has runs, each lands under a fresh id and no records are
+        lost or overwritten."""
+        paths = self._shard_stores(spec, serial_records, tmp_path)
+        with SweepDatabase(tmp_path / "target.db") as target:
+            # The target has its own history first: run id 1 is taken.
+            target.record_run(
+                target.ensure_sweep(spec),
+                serial_records,
+                executed=len(serial_records),
+                skipped=0,
+            )
+            for path in paths:
+                with SweepDatabase(path) as shard:
+                    target.merge(shard, carry_history=True)
+            run_ids = [run.run_id for run in target.runs()]
+            assert run_ids == [1, 2, 3, 4]
+            assert [run.source for run in target.runs()[1:]] == [
+                "shard:0/3",
+                "shard:1/3",
+                "shard:2/3",
+            ]
+            # Each carried run still holds exactly its shard's records.
+            total = sum(len(target.run_records(run_id)) for run_id in run_ids)
+            assert total == 2 * len(serial_records)
+            assert target.records(spec.content_key()) == serial_records
+
+    def test_carry_merge_idempotent(self, spec, serial_records, tmp_path):
+        paths = self._shard_stores(spec, serial_records, tmp_path)
+        with SweepDatabase(tmp_path / "target.db") as target:
+            for path in paths:
+                with SweepDatabase(path) as shard:
+                    first = target.merge(shard, carry_history=True)
+                assert first.runs_carried == 1
+            runs_after = len(target.runs())
+            for path in paths:
+                with SweepDatabase(path) as shard:
+                    again = target.merge(shard, carry_history=True)
+                assert again.runs_carried == 0
+                assert again.inserted == 0
+                assert again.identical > 0
+            assert len(target.runs()) == runs_after
+
+    def test_history_equals_sequential_serial_store_row_for_row(
+        self, spec, serial_records, tmp_path
+    ):
+        """The satellite acceptance: history_rows()/trajectory_rows() over a
+        carry-merged store equal — row for row — those of a store where the
+        same shard runs executed sequentially on one host."""
+        slices = self._shard_slices(spec, serial_records)
+        sequential_path = tmp_path / "sequential.db"
+        with SweepDatabase(sequential_path) as sequential:
+            key = sequential.ensure_sweep(spec)
+            for records, source, created_at in slices:
+                sequential.record_run(
+                    key,
+                    records,
+                    executed=len(records),
+                    skipped=0,
+                    source=source,
+                    created_at=created_at,
+                )
+        paths = self._shard_stores(spec, serial_records, tmp_path)
+        with SweepDatabase(tmp_path / "merged.db") as merged:
+            shards = [SweepDatabase(path) for path in paths]
+            try:
+                merged.merge_all(shards, carry_history=True)
+            finally:
+                for shard in shards:
+                    shard.close()
+            with SweepDatabase(sequential_path) as sequential:
+                assert list(merged.history_rows()) == list(sequential.history_rows())
+                assert merged.trajectory_rows() == sequential.trajectory_rows()
+                assert merged.win_rate_rows() == sequential.win_rate_rows()
+                assert merged.run_count() == sequential.run_count() == 3
+
+    def test_run_count_equals_sum_of_shard_run_counts(self, spec, tmp_path):
+        """Through the real run_shard path: the merged store's run count is
+        the sum of the shard stores' (including a resumed shard's 2 runs)."""
+        paths = []
+        for index in range(3):
+            path = tmp_path / f"real-shard-{index}.db"
+            with SweepDatabase(path) as db:
+                SweepRunner(jobs=1).run_shard(spec, db, shard_index=index, shard_count=3)
+                if index == 0:  # a resumed re-run adds a second run row
+                    SweepRunner(jobs=1).run_shard(
+                        spec, db, shard_index=index, shard_count=3, resume=True
+                    )
+            paths.append(path)
+        with SweepDatabase(tmp_path / "merged.db") as merged:
+            shard_runs = 0
+            for path in paths:
+                with SweepDatabase(path) as shard:
+                    shard_runs += shard.run_count()
+                    merged.merge(shard, carry_history=True)
+            assert shard_runs == 4
+            assert merged.run_count() == shard_runs
+            assert merged.record_count() == spec.point_count
+
+    def test_carry_merge_conflict_rejected_before_writing(
+        self, spec, serial_records, tmp_path
+    ):
+        conflicting = [dict(record) for record in serial_records]
+        conflicting[1]["makespan"] += 1
+        with SweepDatabase(tmp_path / "bad.db") as shard:
+            shard.record_run(shard.ensure_sweep(spec), conflicting, executed=6, skipped=0)
+        with SweepDatabase(tmp_path / "target.db") as target:
+            key = target.ensure_sweep(spec)
+            target.record_run(key, serial_records, executed=6, skipped=0)
+            with SweepDatabase(tmp_path / "bad.db") as shard:
+                with pytest.raises(ResultStoreError, match="point 1 conflicts"):
+                    target.merge(shard, carry_history=True)
+            assert target.run_count() == 1
+            assert target.records(spec.content_key()) == serial_records
+
+    def test_carried_export_byte_identical_to_current_record_merge(
+        self, spec, serial_records, tmp_path
+    ):
+        """Carrying history must not change the *current* records: the
+        exported document equals the one a plain merge produces."""
+        paths = self._shard_stores(spec, serial_records, tmp_path)
+        with SweepDatabase(tmp_path / "plain.db") as plain:
+            with SweepDatabase(tmp_path / "carried.db") as carried:
+                for path in paths:
+                    with SweepDatabase(path) as shard:
+                        plain.merge(shard)
+                    with SweepDatabase(path) as shard:
+                        carried.merge(shard, carry_history=True)
+                plain_doc = plain.export_document(tmp_path / "plain.json")
+                carried_doc = carried.export_document(tmp_path / "carried.json")
+        assert carried_doc.read_bytes() == plain_doc.read_bytes()
+
+
 class TestMergeAll:
     @staticmethod
     def _store_with(path, spec, records):

@@ -216,6 +216,37 @@ class TestShardExecution:
                     d695_spec, db, shard_index=3, shard_count=3
                 )
 
+    def test_empty_shards_run_merge_and_export_end_to_end(
+        self, d695_spec, serial_outcomes, tmp_path
+    ):
+        """More shards than points (6 points, 10 shards): the empty shards
+        must run (recording an empty run), merge, and the merged store must
+        still export byte-identical to a serial full run's document."""
+        from repro.runner.db import SweepDatabase
+        from repro.runner.store import save_sweeps
+
+        serial = save_sweeps(tmp_path / "serial.json", [(d695_spec, serial_outcomes)])
+        shard_paths = []
+        for index in range(10):
+            path = tmp_path / f"shard-{index}.db"
+            with SweepDatabase(path) as db:
+                report = SweepRunner(jobs=1).run_shard(
+                    d695_spec, db, shard_index=index, shard_count=10
+                )
+                if index >= d695_spec.point_count:
+                    assert report.executed_count == 0
+                    assert report.records == ()
+                    (run,) = db.runs()
+                    assert run.source == f"shard:{index}/10"
+            shard_paths.append(path)
+        with SweepDatabase(tmp_path / "merged.db") as merged:
+            for path in shard_paths:
+                with SweepDatabase(path) as shard:
+                    merged.merge(shard)
+            assert merged.record_count() == d695_spec.point_count
+            exported = merged.export_document(tmp_path / "merged.json")
+        assert exported.read_bytes() == serial.read_bytes()
+
 
 class TestShardReportsOnSharedStore:
     def test_shard_report_holds_only_its_own_points(self, d695_spec, tmp_path):

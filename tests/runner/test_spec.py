@@ -183,6 +183,21 @@ class TestShard:
         with pytest.raises(ConfigurationError, match="out of range"):
             self.grid().shard(index, 3)
 
+    def test_out_of_range_index_message_states_the_rule(self):
+        """An index >= count must name the constraint, not just reject."""
+        with pytest.raises(ConfigurationError, match=r"0 <= shard_index < shard_count"):
+            self.grid().shard(3, 3)
+
+    @pytest.mark.parametrize("strategy", ["contiguous", "strided"])
+    def test_oversized_count_still_partitions_the_grid(self, strategy):
+        """shard_count greater than the point count yields valid empty
+        shards whose union is still exactly the grid."""
+        spec = self.grid()  # 8 points
+        shards = [spec.shard(i, 13, strategy=strategy) for i in range(13)]
+        merged = sorted((p for shard in shards for p in shard), key=lambda p: p.index)
+        assert tuple(merged) == spec.points()
+        assert sum(1 for shard in shards if not shard) == 13 - 8
+
     def test_unknown_strategy_rejected(self):
         with pytest.raises(ConfigurationError, match="shard strategy"):
             self.grid().shard(0, 2, strategy="random")

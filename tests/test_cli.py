@@ -445,6 +445,327 @@ class TestShardAndMergeCommands:
         assert not out_db.exists()
 
 
+class TestBackendSelection:
+    def test_pool_backend_flag(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "d695_leon",
+                    "--backend",
+                    "pool",
+                    "--jobs",
+                    "2",
+                    "--counts",
+                    "0,2",
+                    "--power-limits",
+                    "none",
+                    "--no-characterize",
+                ]
+            )
+            == 0
+        )
+        assert "on 2 worker(s)" in capsys.readouterr().out
+
+    def test_serial_backend_with_jobs_conflicts(self, capsys):
+        assert main(["sweep", "d695_leon", "--backend", "serial", "--jobs", "4"]) == 1
+        assert "pool" in capsys.readouterr().err
+
+    def test_shard_workers_backend_requires_store(self, capsys):
+        assert main(["sweep", "d695_leon", "--backend", "shard-workers"]) == 1
+        assert "--store" in capsys.readouterr().err
+
+    def test_shard_workers_backend_rejects_shard_flags(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "d695_leon",
+                    "--backend",
+                    "shard-workers",
+                    "--store",
+                    str(tmp_path / "s.db"),
+                    "--shard-index",
+                    "0",
+                    "--shard-count",
+                    "2",
+                ]
+            )
+            == 1
+        )
+        assert "partitions the grid itself" in capsys.readouterr().err
+
+    def test_workers_flag_requires_shard_workers_backend(self, capsys):
+        assert main(["sweep", "d695_leon", "--workers", "3"]) == 1
+        assert "shard-workers" in capsys.readouterr().err
+
+    def test_shard_strategy_requires_shard_flags(self, capsys):
+        assert main(["sweep", "d695_leon", "--shard-strategy", "strided"]) == 1
+        assert "--shard-strategy" in capsys.readouterr().err
+
+    def test_strided_shards_merge_byte_identical(self, capsys, tmp_path):
+        """--shard-strategy on the CLI: two strided shards merge to the
+        serial document like contiguous ones."""
+        serial = tmp_path / "serial.json"
+        base = [
+            "sweep",
+            "d695_leon",
+            "--counts",
+            "0,2",
+            "--power-limits",
+            "none",
+            "--no-characterize",
+        ]
+        assert main([*base, "--out", str(serial)]) == 0
+        for index in range(2):
+            assert (
+                main(
+                    [
+                        *base,
+                        "--store",
+                        str(tmp_path / f"shard-{index}.db"),
+                        "--shard-index",
+                        str(index),
+                        "--shard-count",
+                        "2",
+                        "--shard-strategy",
+                        "strided",
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        merged = tmp_path / "merged.json"
+        assert (
+            main(
+                [
+                    "merge",
+                    str(tmp_path / "m.db"),
+                    str(tmp_path / "shard-0.db"),
+                    str(tmp_path / "shard-1.db"),
+                    "--export-json",
+                    str(merged),
+                ]
+            )
+            == 0
+        )
+        assert merged.read_bytes() == serial.read_bytes()
+
+    def test_load_rejects_backend_flag(self, capsys, tmp_path):
+        assert main(["sweep", "--load", str(tmp_path / "r.json"), "--backend", "pool"]) == 1
+        err = capsys.readouterr().err
+        assert "--backend" in err and "--load" in err
+
+
+class TestSpecJson:
+    @staticmethod
+    def _write_spec(path):
+        import json
+
+        from repro.runner.spec import SweepSpec
+
+        spec = SweepSpec(
+            name="from-file",
+            systems=("d695_leon",),
+            processor_counts=(0, 2),
+            power_limits=(("no power limit", None),),
+        )
+        path.write_text(json.dumps(spec.to_dict()), encoding="utf-8")
+        return spec
+
+    def test_spec_json_runs_the_stored_grid(self, capsys, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        self._write_spec(spec_file)
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--spec-json",
+                    str(spec_file),
+                    "--no-characterize",
+                    "--store",
+                    str(tmp_path / "s.db"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 executed" in out
+
+    def test_spec_json_rejects_grid_flags(self, capsys, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        self._write_spec(spec_file)
+        assert main(["sweep", "--spec-json", str(spec_file), "--counts", "0"]) == 1
+        err = capsys.readouterr().err
+        assert "--spec-json" in err and "--counts" in err
+
+    def test_spec_json_rejects_positional_systems(self, capsys, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        self._write_spec(spec_file)
+        assert main(["sweep", "d695_leon", "--spec-json", str(spec_file)]) == 1
+        assert "SYSTEM arguments" in capsys.readouterr().err
+
+    def test_missing_spec_file_fails(self, capsys, tmp_path):
+        assert main(["sweep", "--spec-json", str(tmp_path / "absent.json")]) == 1
+        assert "cannot read spec file" in capsys.readouterr().err
+
+
+class TestOrchestrateCommand:
+    def test_orchestrate_matches_serial_export(self, capsys, tmp_path):
+        """`repro orchestrate` end to end on a small grid: two local shard
+        workers, merged store, export byte-identical to the serial run."""
+        serial = tmp_path / "serial.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "d695_leon",
+                    "--counts",
+                    "0,2",
+                    "--power-limits",
+                    "none",
+                    "--no-characterize",
+                    "--out",
+                    str(serial),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        exported = tmp_path / "merged.json"
+        assert (
+            main(
+                [
+                    "orchestrate",
+                    "d695_leon",
+                    "--counts",
+                    "0,2",
+                    "--power-limits",
+                    "none",
+                    "--no-characterize",
+                    "--workers",
+                    "2",
+                    "--store",
+                    str(tmp_path / "merged.db"),
+                    "--workdir",
+                    str(tmp_path / "work"),
+                    "--export-json",
+                    str(exported),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "orchestrated on 2 shard worker(s)" in out
+        assert "2 run(s)" in out
+        assert exported.read_bytes() == serial.read_bytes()
+
+    def test_orchestrate_requires_store(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["orchestrate", "d695_leon"])
+
+    def test_orchestrate_multiple_grids_share_a_workdir(self, capsys, tmp_path):
+        """Several grids orchestrated into one store from one --workdir must
+        not collide: each grid's shard stores live in their own subdirectory."""
+        assert (
+            main(
+                [
+                    "orchestrate",
+                    "d695_leon",
+                    "d695_plasma",
+                    "--counts",
+                    "0",
+                    "--power-limits",
+                    "none",
+                    "--no-characterize",
+                    "--workers",
+                    "2",
+                    "--store",
+                    str(tmp_path / "merged.db"),
+                    "--workdir",
+                    str(tmp_path / "work"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 records, 4 run(s) across 2 sweep(s)" in out
+
+    def test_orchestrate_resume_requires_workdir(self, capsys, tmp_path):
+        assert (
+            main(
+                ["orchestrate", "d695_leon", "--store", str(tmp_path / "s.db"), "--resume"]
+            )
+            == 1
+        )
+        assert "--workdir" in capsys.readouterr().err
+
+    def test_sweep_shard_workers_resume_requires_workdir(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "d695_leon",
+                    "--backend",
+                    "shard-workers",
+                    "--store",
+                    str(tmp_path / "s.db"),
+                    "--resume",
+                ]
+            )
+            == 1
+        )
+        assert "--workdir" in capsys.readouterr().err
+
+    def test_sweep_workdir_requires_shard_workers_backend(self, capsys, tmp_path):
+        assert main(["sweep", "d695_leon", "--workdir", str(tmp_path)]) == 1
+        assert "shard-workers" in capsys.readouterr().err
+
+    def test_sweep_shard_workers_rejects_jobs(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "d695_leon",
+                    "--backend",
+                    "shard-workers",
+                    "--jobs",
+                    "8",
+                    "--store",
+                    str(tmp_path / "s.db"),
+                ]
+            )
+            == 1
+        )
+        assert "--workers" in capsys.readouterr().err
+
+    def test_sweep_shard_workers_backend_orchestrates(self, capsys, tmp_path):
+        """The same orchestration through `repro sweep --backend shard-workers`."""
+        assert (
+            main(
+                [
+                    "sweep",
+                    "d695_leon",
+                    "--counts",
+                    "0,2",
+                    "--power-limits",
+                    "none",
+                    "--no-characterize",
+                    "--backend",
+                    "shard-workers",
+                    "--workers",
+                    "2",
+                    "--store",
+                    str(tmp_path / "sw.db"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "orchestrated on 2 shard worker(s)" in out
+        assert "2 records" in out
+
+
 class TestMergeConflictCleanup:
     def test_conflicting_merge_leaves_no_stray_output(self, capsys, tmp_path):
         """A failed merge into a fresh output path must not leave an empty
