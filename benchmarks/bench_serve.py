@@ -1,0 +1,151 @@
+"""Serving benchmark: requests/s and p99 latency of the HTTP daemon.
+
+Starts one ``repro serve`` daemon in-process (ephemeral port, history
+seeded by a small stored sweep) and drives it with a keep-alive
+``http.client`` load generator, the way a production client would.  Three
+routes are measured — synchronous planning (``POST /plan``), the cached
+history hot path (``GET /history/win-rates``) and the liveness probe
+(``GET /healthz``) — each reporting requests/s and p99 latency via
+``benchmark.extra_info``, so the numbers land in CI's ``BENCH_*.json``
+artifact next to the timing statistics.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.runner.db import SweepDatabase
+from repro.runner.engine import SweepRunner
+from repro.runner.spec import SweepSpec
+from repro.serve import create_server
+
+from conftest import emit
+
+#: Requests per timed round, per route.
+REQUESTS = {"plan": 50, "win-rates": 200, "healthz": 200}
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    """A live daemon over a store seeded with one two-scheduler d695 run."""
+    store_path = tmp_path_factory.mktemp("serve-bench") / "serve.db"
+    spec = SweepSpec(
+        name="serve-bench",
+        systems=("d695_leon",),
+        processor_counts=(0, 2, 6),
+        power_limits={"no power limit": None, "50% power limit": 0.5},
+        schedulers=("greedy", "fastest-completion"),
+    )
+    with SweepDatabase(store_path) as db:
+        SweepRunner(jobs=1).run_stored(spec, db)
+    server = create_server(store_path, port=0, characterize=False)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.close()
+        thread.join(timeout=10)
+
+
+class LoadGenerator:
+    """Sends requests down one keep-alive connection and records latencies."""
+
+    def __init__(self, server):
+        host, port = server.server_address[:2]
+        self.connection = http.client.HTTPConnection(host, port, timeout=60)
+        self.latencies_ms: list[float] = []
+
+    def request(self, method, path, body=None):
+        payload = None if body is None else json.dumps(body).encode("utf-8")
+        headers = {} if payload is None else {"Content-Type": "application/json"}
+        started = time.perf_counter()
+        self.connection.request(method, path, body=payload, headers=headers)
+        response = self.connection.getresponse()
+        data = response.read()
+        self.latencies_ms.append((time.perf_counter() - started) * 1000.0)
+        assert response.status < 400, f"{method} {path} -> {response.status}: {data!r}"
+        return json.loads(data)
+
+    def close(self):
+        self.connection.close()
+
+    def stats(self):
+        """Requests/s and latency percentiles over every recorded request."""
+        ordered = sorted(self.latencies_ms)
+        total_s = sum(ordered) / 1000.0
+        rank = max(0, min(len(ordered) - 1, round(0.99 * len(ordered)) - 1))
+        return {
+            "requests": len(ordered),
+            "requests_per_second": round(len(ordered) / total_s, 1),
+            "p50_ms": round(ordered[len(ordered) // 2], 3),
+            "p99_ms": round(ordered[rank], 3),
+        }
+
+
+def drive(daemon, benchmark, label, send, count):
+    """Benchmark ``count`` requests per round and publish the load stats."""
+    generator = LoadGenerator(daemon)
+
+    def round():
+        for _ in range(count):
+            send(generator)
+
+    try:
+        benchmark.pedantic(round, rounds=3, iterations=1, warmup_rounds=1)
+        stats = generator.stats()
+    finally:
+        generator.close()
+    benchmark.extra_info.update(stats)
+    emit(
+        f"Serving benchmark: {label}",
+        "\n".join(f"{key}: {value}" for key, value in stats.items()),
+    )
+    return stats
+
+
+def test_serve_plan_requests(daemon, benchmark):
+    """Synchronous planning over HTTP: the daemon's heaviest request."""
+    body = {"system": "d695_leon", "reused_processors": 2, "power_limit_fraction": 0.5}
+    stats = drive(
+        daemon,
+        benchmark,
+        "POST /plan (d695_leon, 2 processors, 50% power)",
+        lambda g: g.request("POST", "/plan", body),
+        REQUESTS["plan"],
+    )
+    assert stats["requests_per_second"] > 0
+
+
+def test_serve_history_win_rates_cached(daemon, benchmark):
+    """The cached history hot path: repeated identical aggregation reads."""
+    warm = LoadGenerator(daemon)
+    first = warm.request("GET", "/history/win-rates")
+    warm.close()
+    assert first["rows"], "seeded store produced no win-rate rows"
+    stats = drive(
+        daemon,
+        benchmark,
+        "GET /history/win-rates (TTL cache hot)",
+        lambda g: g.request("GET", "/history/win-rates"),
+        REQUESTS["win-rates"],
+    )
+    assert stats["requests_per_second"] > 0
+
+
+def test_serve_healthz_floor(daemon, benchmark):
+    """The liveness probe: the daemon's request-handling floor."""
+    stats = drive(
+        daemon,
+        benchmark,
+        "GET /healthz",
+        lambda g: g.request("GET", "/healthz"),
+        REQUESTS["healthz"],
+    )
+    assert stats["requests_per_second"] > 0

@@ -37,6 +37,11 @@ Installed as ``repro-noctest`` (see ``pyproject.toml``) and runnable as
 * ``history DB`` — cross-run queries over a sqlite sweep store (scheduler
   win-rates, makespan over time, aggregated in SQL) plus the JSON↔sqlite
   migration path (``--import-json``, ``--export-json``).
+* ``serve`` — the long-lived planning daemon: an HTTP API over the library
+  (synchronous ``POST /plan``, background ``POST /sweeps`` jobs, cached
+  ``GET /history/...`` reads) on top of one sqlite store
+  (``--store``, ``--host``/``--port``, ``--cache-ttl``); the full wire
+  format is documented in ``docs/api.md``.
 * ``export-soc DIRECTORY`` — write the embedded benchmarks as ``.soc`` files.
 """
 
@@ -77,6 +82,7 @@ from repro.runner.spec import (
 )
 from repro.runner.store import load_sweeps, save_stored_sweeps, save_sweeps
 from repro.schedule.planner import TestPlanner
+from repro.serve.http import create_server
 from repro.schedule.variants import FastestCompletionScheduler
 from repro.system.presets import PAPER_SYSTEMS, build_paper_system
 
@@ -649,6 +655,26 @@ def _cmd_history(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    server = create_server(
+        args.store,
+        host=args.host,
+        port=args.port,
+        cache_ttl=args.cache_ttl,
+        characterize=not args.no_characterize,
+        packet_count=args.packets,
+        cache_dir=args.cache_dir,
+    )
+    print(f"serving {args.store} on {server.url} (Ctrl-C to stop)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.close()
+    return 0
+
+
 def _cmd_export_soc(args: argparse.Namespace) -> int:
     written = export_benchmarks(args.directory)
     for path in written:
@@ -961,6 +987,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="export the store as a schema-v1 JSON result document",
     )
     history.set_defaults(handler=_cmd_history)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve planning, sweeps and history over HTTP",
+        description="Run the long-lived planning daemon: POST /plan answers "
+        "synchronously, POST /sweeps enqueues grids for background execution "
+        "through the sweep engine's backends, and GET /history/... serves "
+        "the store's SQL aggregations through a TTL read cache.  One daemon "
+        "owns one sqlite store (single writer thread, per-request WAL "
+        "readers).  The wire format is documented in docs/api.md.",
+    )
+    serve.add_argument(
+        "--store",
+        required=True,
+        metavar="DB",
+        help="sqlite sweep store the daemon serves and fills "
+        "(created if missing)",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address (default: 127.0.0.1)",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8787,
+        help="bind port (default: 8787; 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--cache-ttl",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="TTL of the history read cache (default: 2.0; 0 disables it)",
+    )
+    serve.add_argument(
+        "--packets",
+        type=int,
+        default=200,
+        help="random packets for the NoC characterisation campaign of "
+        "API-submitted sweep jobs",
+    )
+    serve.add_argument(
+        "--no-characterize",
+        action="store_true",
+        help="skip the per-SoC NoC characterisation step for sweep jobs",
+    )
+    serve.add_argument(
+        "--cache-dir",
+        default=None,
+        help="directory for persisted NoC-characterisation records",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     characterize = subparsers.add_parser(
         "characterize",

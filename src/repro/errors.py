@@ -72,3 +72,17 @@ class ResultStoreError(ReproError):
 
 class OrchestrationError(ReproError):
     """Raised when a dispatched sweep worker fails or never finishes."""
+
+
+class ApiError(ReproError):
+    """Raised by the serving layer for a request that cannot be satisfied.
+
+    Carries the HTTP status code the daemon should answer with, so the
+    service layer (:mod:`repro.serve.service`) can signal *what kind* of
+    failure occurred — unknown resource (404), invalid payload (400),
+    shutting down (503) — without the HTTP handlers interpreting messages.
+    """
+
+    def __init__(self, message: str, *, status: int = 400):
+        self.status = status
+        super().__init__(message)

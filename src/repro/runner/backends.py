@@ -218,6 +218,7 @@ class SerialBackend(ExecutionBackend):
     def execute(
         self, points: Sequence[SweepPoint], *, system_cache: SystemCache
     ) -> list[ScheduleResult]:
+        """Plan each point in submission order on the calling thread."""
         return [execute_point(point, system_cache) for point in points]
 
 
@@ -247,11 +248,13 @@ class ProcessPoolBackend(ExecutionBackend):
 
     @property
     def worker_count(self) -> int:
+        """Resolved worker-process count (CPU count substituted for 0)."""
         return self.jobs
 
     def execute(
         self, points: Sequence[SweepPoint], *, system_cache: SystemCache
     ) -> list[ScheduleResult]:
+        """Plan the points on the pool, returning results in point order."""
         if self.jobs == 1 or len(points) <= 1:
             return [execute_point(point, system_cache) for point in points]
         # Build every distinct system once in the parent so each worker
@@ -328,6 +331,7 @@ class ShardWorkerBackend(ExecutionBackend):
 
     @property
     def worker_count(self) -> int:
+        """Number of shard workers spawned per grid."""
         return self.workers
 
     # ------------------------------------------------------------------

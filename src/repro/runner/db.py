@@ -366,6 +366,22 @@ class SweepDatabase:
             ).fetchone()
         return int(row["n"])
 
+    def data_version(self) -> tuple[int, int]:
+        """Monotonic version of the store's contents: max ``(records, runs)`` rowids.
+
+        Every committed write — a recorded run, an import, a merge — appends
+        to at least one of the two tables, so the pair strictly increases
+        with each mutation and never repeats (rows are append-only).  The
+        serving layer keys its read-path cache on this version: a cache
+        entry is structurally invalidated the moment the store changes,
+        without comparing any row contents.
+        """
+        row = self._connection.execute(
+            "SELECT (SELECT COALESCE(MAX(rowid), 0) FROM records) AS records_version, "
+            "(SELECT COALESCE(MAX(rowid), 0) FROM runs) AS runs_version"
+        ).fetchone()
+        return (int(row["records_version"]), int(row["runs_version"]))
+
     def _load_spec(self, spec_key: str) -> SweepSpec:
         """Load one sweep's spec, verifying it still hashes to its key.
 

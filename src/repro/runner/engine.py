@@ -218,7 +218,12 @@ class SweepRunner:
         return self._run_points(spec.points())
 
     def run_stored(
-        self, spec: SweepSpec, store: "SweepDatabase", *, resume: bool = False
+        self,
+        spec: SweepSpec,
+        store: "SweepDatabase",
+        *,
+        resume: bool = False,
+        source: str = "sweep",
     ) -> StoreRunReport:
         """Execute ``spec`` against a sqlite store, optionally incrementally.
 
@@ -237,6 +242,9 @@ class SweepRunner:
 
         The executed records are committed to the store in one transaction
         together with a ``runs`` row holding the executed/skipped counters.
+        ``source`` labels the run in the store's history time axis
+        (default ``"sweep"``; the serve daemon passes ``"serve:<job id>"``
+        so `repro history` attributes API-submitted runs).
 
         Raises:
             ConfigurationError: when the configured backend cannot execute
@@ -244,7 +252,7 @@ class SweepRunner:
         """
         self._require_inline("run_stored()")
         return self._run_into_store(
-            spec, store, spec.points(), resume=resume, source="sweep", shard=None
+            spec, store, spec.points(), resume=resume, source=source, shard=None
         )
 
     def run_shard(

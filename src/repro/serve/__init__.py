@@ -1,0 +1,33 @@
+"""Planning-as-a-service: the long-lived ``repro serve`` HTTP daemon.
+
+Layered thin-to-thick: :mod:`repro.serve.http` (routing + JSON framing)
+dispatches into :mod:`repro.serve.service` (validation + orchestration),
+which delegates every planning/storage decision to the existing library.
+:mod:`repro.serve.jobs` owns the store's single writer thread and
+:mod:`repro.serve.cache` the TTL read cache.  See ``docs/api.md`` for the
+wire format and ``docs/architecture.md`` for where this layer sits.
+"""
+
+from repro.serve.cache import TTLCache
+from repro.serve.http import (
+    ROUTES,
+    PlanningRequestHandler,
+    PlanningServer,
+    Route,
+    create_server,
+)
+from repro.serve.jobs import JOB_STATES, SweepJob, SweepJobQueue
+from repro.serve.service import PlanningService
+
+__all__ = [
+    "JOB_STATES",
+    "ROUTES",
+    "PlanningRequestHandler",
+    "PlanningServer",
+    "PlanningService",
+    "Route",
+    "SweepJob",
+    "SweepJobQueue",
+    "TTLCache",
+    "create_server",
+]

@@ -1,0 +1,289 @@
+"""Background sweep-job execution for the daemon (the store's one writer).
+
+``POST /sweeps`` must answer immediately while grids of arbitrary size
+execute; :class:`SweepJobQueue` is the seam that makes that safe on sqlite.
+One worker thread owns the store's **only writer connection** and executes
+jobs strictly in submission order through the existing execution backends
+(:data:`repro.runner.backends.BACKEND_FACTORIES`): the WAL journal then
+guarantees that every concurrent HTTP read — served from per-request reader
+connections — sees a consistent committed snapshot, never a half-written
+run.  That is the one-writer/many-readers model documented in
+``docs/architecture.md``.
+
+Jobs carry no planning logic of their own: a job is a
+:class:`~repro.runner.spec.SweepSpec` plus a backend name, executed via
+:meth:`SweepRunner.run_stored <repro.runner.engine.SweepRunner.run_stored>`
+(serial/pool backends) or :meth:`SweepRunner.orchestrate
+<repro.runner.engine.SweepRunner.orchestrate>` (the shard-worker backend),
+with the run recorded under source ``serve:<job id>`` so ``repro history``
+attributes API-submitted runs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ApiError, ReproError
+from repro.runner.backends import BACKEND_FACTORIES, ShardWorkerBackend, make_backend
+from repro.runner.cache import SystemCache
+from repro.runner.db import SweepDatabase
+from repro.runner.engine import SweepRunner
+from repro.runner.spec import SweepSpec
+
+#: Every state a job moves through, in lifecycle order.
+JOB_STATES: tuple[str, ...] = ("queued", "running", "finished", "failed")
+
+
+def _utcnow() -> str:
+    """Current UTC time in the store's ISO timestamp format."""
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+@dataclass
+class SweepJob:
+    """One submitted sweep grid and its execution state.
+
+    Mutated only by the queue's worker thread; HTTP threads read it through
+    :meth:`SweepJobQueue.get`, which returns a locked snapshot.
+
+    Attributes:
+        job_id: daemon-unique identifier (``job-<n>-<spec key prefix>``).
+        spec: the submitted grid.
+        spec_key: the spec's content key (how the store indexes it).
+        backend: execution backend name (a :data:`BACKEND_FACTORIES` key).
+        pool_jobs: worker processes for the pool backend (1 otherwise).
+        resume: whether points already stored are skipped instead of re-run.
+        status: one of :data:`JOB_STATES`.
+        submitted_at / started_at / finished_at: ISO UTC timestamps.
+        error: failure message once ``status == "failed"``.
+        run_id: the store's run id once finished (``None`` for orchestrated
+            jobs, which record one run per shard instead).
+        executed_points / skipped_points: the finished run's counters.
+    """
+
+    job_id: str
+    spec: SweepSpec
+    spec_key: str
+    backend: str
+    pool_jobs: int
+    resume: bool
+    status: str = "queued"
+    submitted_at: str = field(default_factory=_utcnow)
+    started_at: str | None = None
+    finished_at: str | None = None
+    error: str | None = None
+    run_id: int | None = None
+    executed_points: int | None = None
+    skipped_points: int | None = None
+
+    def snapshot(self) -> dict:
+        """JSON-ready view of the job (what ``GET /sweeps/<id>`` serves)."""
+        return {
+            "job_id": self.job_id,
+            "status": self.status,
+            "backend": self.backend,
+            "resume": self.resume,
+            "spec_name": self.spec.name,
+            "spec_key": self.spec_key,
+            "point_count": self.spec.point_count,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+            "run_id": self.run_id,
+            "executed_points": self.executed_points,
+            "skipped_points": self.skipped_points,
+        }
+
+
+class SweepJobQueue:
+    """Executes submitted sweep jobs on one writer thread, in order.
+
+    The worker thread opens the store's single writer connection lazily (a
+    sqlite connection is bound to its thread) and keeps it for the queue's
+    lifetime; every job commits through it.  Submission, status reads and
+    shutdown are thread-safe.
+
+    Args:
+        store_path: sqlite store every job writes into.
+        characterize: forward the runner's characterisation switch to jobs.
+        packet_count: characterisation campaign size.
+        cache_dir: persisted characterisation-cache directory for jobs.
+        system_cache: share one build cache across jobs (and with the
+            synchronous ``/plan`` path); defaults to a fresh cache.
+        workdir: directory for the shard-worker backend's stores and logs
+            (default: ``<store>.workers`` next to the store).
+        on_finished: test/observability hook called with each job after it
+            reaches a terminal state.
+
+    Raises:
+        ApiError: from :meth:`submit`/:meth:`get` for invalid input.
+    """
+
+    def __init__(
+        self,
+        store_path: str | Path,
+        *,
+        characterize: bool = False,
+        packet_count: int = 200,
+        cache_dir: str | Path | None = None,
+        system_cache: SystemCache | None = None,
+        workdir: str | Path | None = None,
+        on_finished: Callable[[SweepJob], None] | None = None,
+    ) -> None:
+        self.store_path = Path(store_path)
+        self.characterize = characterize
+        self.packet_count = packet_count
+        self.cache_dir = cache_dir
+        self.system_cache = system_cache if system_cache is not None else SystemCache()
+        self.workdir = (
+            Path(workdir)
+            if workdir is not None
+            else self.store_path.with_name(self.store_path.name + ".workers")
+        )
+        self._on_finished = on_finished
+        self._jobs: dict[str, SweepJob] = {}
+        self._lock = threading.Lock()
+        self._queue: "queue.Queue[SweepJob | None]" = queue.Queue()
+        self._counter = itertools.count(1)
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run_worker, name="repro-serve-jobs", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Submission and lookup (called from HTTP threads).
+    # ------------------------------------------------------------------
+    def submit(
+        self, spec: SweepSpec, *, backend: str = "serial", jobs: int = 1, resume: bool = False
+    ) -> dict:
+        """Enqueue one grid for background execution; returns the job snapshot.
+
+        Args:
+            spec: the grid to execute.
+            backend: execution backend name (any :data:`BACKEND_FACTORIES`
+                key; the shard-worker backend orchestrates, the others run
+                in-process on the worker thread).
+            jobs: worker processes for the pool backend (ignored otherwise).
+            resume: skip points the store already holds compatible records
+                for (see :meth:`SweepRunner.run_stored
+                <repro.runner.engine.SweepRunner.run_stored>`).
+
+        Raises:
+            ApiError: for an unknown backend name (400) or a queue that is
+                shutting down (503).
+        """
+        if backend not in BACKEND_FACTORIES:
+            known = ", ".join(sorted(BACKEND_FACTORIES))
+            raise ApiError(f"unknown backend {backend!r}; known backends: {known}")
+        with self._lock:
+            if self._closed:
+                raise ApiError("the job queue is shutting down", status=503)
+            spec_key = spec.content_key()
+            job = SweepJob(
+                job_id=f"job-{next(self._counter)}-{spec_key[:8]}",
+                spec=spec,
+                spec_key=spec_key,
+                backend=backend,
+                pool_jobs=jobs,
+                resume=resume,
+            )
+            self._jobs[job.job_id] = job
+            self._queue.put(job)
+            return job.snapshot()
+
+    def get(self, job_id: str) -> dict:
+        """Snapshot of one job.
+
+        Raises:
+            ApiError: for an unknown job id (404).
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise ApiError(f"no sweep job {job_id!r}", status=404)
+            return job.snapshot()
+
+    def jobs(self) -> list[dict]:
+        """Snapshots of every job, in submission order."""
+        with self._lock:
+            return [job.snapshot() for job in self._jobs.values()]
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def close(self, *, timeout: float | None = 30.0) -> None:
+        """Stop accepting jobs, drain the queue, and join the worker thread."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(None)
+        self._worker.join(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Worker thread.
+    # ------------------------------------------------------------------
+    def _run_worker(self) -> None:
+        """Main loop of the writer thread: execute jobs until the sentinel."""
+        store: SweepDatabase | None = None
+        try:
+            while True:
+                job = self._queue.get()
+                if job is None:
+                    return
+                if store is None:
+                    # The one writer connection, opened in the thread that
+                    # uses it (sqlite connections are thread-bound).
+                    store = SweepDatabase(self.store_path)
+                self._execute(job, store)
+        finally:
+            if store is not None:
+                store.close()
+
+    def _execute(self, job: SweepJob, store: SweepDatabase) -> None:
+        """Run one job against the writer connection and record its outcome."""
+        with self._lock:
+            job.status = "running"
+            job.started_at = _utcnow()
+        try:
+            runner = SweepRunner(
+                backend=make_backend(job.backend, jobs=job.pool_jobs),
+                cache_dir=self.cache_dir,
+                characterize=self.characterize,
+                packet_count=self.packet_count,
+                system_cache=self.system_cache,
+            )
+            if isinstance(runner.backend, ShardWorkerBackend):
+                report = runner.orchestrate(
+                    job.spec, store, resume=job.resume, workdir=self.workdir
+                )
+                executed, skipped, run_id = report.record_count, 0, None
+            else:
+                stored = runner.run_stored(
+                    job.spec, store, resume=job.resume, source=f"serve:{job.job_id}"
+                )
+                executed = stored.executed_count
+                skipped = stored.skipped_count
+                run_id = stored.run_id
+        except ReproError as error:
+            with self._lock:
+                job.status = "failed"
+                job.error = str(error)
+                job.finished_at = _utcnow()
+        else:
+            with self._lock:
+                job.status = "finished"
+                job.executed_points = executed
+                job.skipped_points = skipped
+                job.run_id = run_id
+                job.finished_at = _utcnow()
+        if self._on_finished is not None:
+            self._on_finished(job)

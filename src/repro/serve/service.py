@@ -1,0 +1,361 @@
+"""The service layer behind the HTTP handlers (planning-as-a-service).
+
+:class:`PlanningService` is the only thing the HTTP layer talks to, and the
+library is the only thing the service talks to — handlers parse, dispatch
+and serialize; every decision about *planning* stays in
+:mod:`repro.schedule`, :mod:`repro.runner` and :mod:`repro.analysis`:
+
+* ``plan`` builds the requested system through the shared
+  :class:`~repro.runner.cache.SystemCache` and runs the library's
+  :class:`~repro.schedule.planner.TestPlanner` synchronously;
+* ``submit_sweep`` / ``sweep_status`` delegate to the single-writer
+  :class:`~repro.serve.jobs.SweepJobQueue`;
+* the history reads open a short-lived WAL **reader** connection per call
+  and serve :meth:`SweepDatabase.win_rate_rows
+  <repro.runner.db.SweepDatabase.win_rate_rows>` /
+  :meth:`trajectory_rows <repro.runner.db.SweepDatabase.trajectory_rows>`
+  through a :class:`~repro.serve.cache.TTLCache` keyed by the query plus
+  the store's :meth:`data_version
+  <repro.runner.db.SweepDatabase.data_version>`.
+
+Every public method takes parsed request data (mappings, strings) and
+returns a JSON-ready dict; invalid input raises
+:class:`~repro.errors.ApiError` with the HTTP status the daemon answers
+with.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Mapping
+
+from repro import __version__
+from repro.analysis.export import schedule_to_rows
+from repro.errors import ApiError, ConfigurationError, ReproError
+from repro.runner.cache import SystemCache
+from repro.runner.db import SweepDatabase
+from repro.runner.spec import (
+    SweepSpec,
+    canonical_scheduler_name,
+    make_scheduler,
+    power_series_label,
+)
+from repro.schedule.planner import TestPlanner
+from repro.serve.cache import TTLCache
+from repro.serve.jobs import SweepJobQueue
+from repro.system.presets import PAPER_SYSTEMS
+
+#: Fields :meth:`PlanningService.plan` accepts (anything else is a 400).
+PLAN_FIELDS: frozenset[str] = frozenset(
+    {
+        "system",
+        "reused_processors",
+        "power_limit_fraction",
+        "scheduler",
+        "flit_width",
+        "include_assignments",
+    }
+)
+
+#: Fields :meth:`PlanningService.submit_sweep` accepts.
+SWEEP_FIELDS: frozenset[str] = frozenset({"spec", "backend", "jobs", "resume"})
+
+
+def _require_type(payload: Mapping, name: str, kinds: tuple[type, ...], note: str) -> object:
+    """Fetch ``payload[name]`` checked against ``kinds`` (``None`` passes)."""
+    value = payload.get(name)
+    if value is not None and not isinstance(value, kinds):
+        raise ApiError(f"field {name!r} must be {note}")
+    return value
+
+
+class PlanningService:
+    """Serves plans, sweep jobs and history queries over one sqlite store.
+
+    Args:
+        store_path: the daemon's sqlite sweep store (created on startup if
+            missing, so readers never race its schema creation).
+        cache_ttl: TTL of the history read cache in seconds (0 disables).
+        characterize: characterise NoCs for API-submitted sweep jobs.
+        packet_count: characterisation campaign size for sweep jobs.
+        cache_dir: persisted characterisation-cache directory for jobs.
+
+    Raises:
+        ResultStoreError: when ``store_path`` exists but is not a sweep
+            store of the supported schema version.
+    """
+
+    def __init__(
+        self,
+        store_path: str | Path,
+        *,
+        cache_ttl: float = 2.0,
+        characterize: bool = False,
+        packet_count: int = 200,
+        cache_dir: str | Path | None = None,
+    ) -> None:
+        self.store_path = Path(store_path)
+        # Create (and validate) the store before any reader can touch it.
+        with SweepDatabase(self.store_path):
+            pass
+        self.system_cache = SystemCache()
+        self._system_lock = threading.Lock()
+        self.read_cache = TTLCache(cache_ttl)
+        self.jobs = SweepJobQueue(
+            self.store_path,
+            characterize=characterize,
+            packet_count=packet_count,
+            cache_dir=cache_dir,
+            system_cache=self.system_cache,
+        )
+        self._started_at = time.monotonic()
+
+    def close(self) -> None:
+        """Drain the job queue and release the writer connection."""
+        self.jobs.close()
+
+    # ------------------------------------------------------------------
+    # Health.
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        """The ``GET /healthz`` payload: liveness plus store/cache vitals."""
+        with self._reader() as db:
+            records, runs = db.data_version()
+        return {
+            "status": "ok",
+            "version": __version__,
+            "store": str(self.store_path),
+            "store_version": {"records": records, "runs": runs},
+            "uptime_seconds": round(time.monotonic() - self._started_at, 3),
+            "cache": {
+                "hits": self.read_cache.stats.hits,
+                "misses": self.read_cache.stats.misses,
+                "ttl_seconds": self.read_cache.ttl_seconds,
+            },
+            "jobs": len(self.jobs.jobs()),
+        }
+
+    # ------------------------------------------------------------------
+    # Synchronous planning.
+    # ------------------------------------------------------------------
+    def plan(self, payload: Mapping) -> dict:
+        """Plan one system synchronously (the ``POST /plan`` handler's core).
+
+        Args:
+            payload: the request object — ``system`` (required),
+                ``reused_processors``, ``power_limit_fraction``,
+                ``scheduler``, ``flit_width``, ``include_assignments``.
+
+        Raises:
+            ApiError: for unknown fields, a missing/unknown system, or
+                mistyped values (all 400).
+        """
+        unknown = set(payload) - PLAN_FIELDS
+        if unknown:
+            raise ApiError(
+                "unknown plan field(s) "
+                + ", ".join(sorted(repr(name) for name in unknown))
+                + "; accepted: "
+                + ", ".join(sorted(PLAN_FIELDS))
+            )
+        system_name = payload.get("system")
+        if not isinstance(system_name, str) or system_name.lower() not in PAPER_SYSTEMS:
+            known = ", ".join(sorted(PAPER_SYSTEMS))
+            raise ApiError(
+                f"field 'system' must name a paper system ({known}); "
+                f"got {system_name!r}"
+            )
+        reused = _require_type(
+            payload, "reused_processors", (int,), "an integer or null (= all processors)"
+        )
+        if isinstance(reused, bool) or (isinstance(reused, int) and reused < 0):
+            raise ApiError("field 'reused_processors' must be a non-negative integer")
+        fraction = _require_type(
+            payload, "power_limit_fraction", (int, float), "a number or null (= unlimited)"
+        )
+        if isinstance(fraction, bool) or (fraction is not None and fraction <= 0):
+            raise ApiError("field 'power_limit_fraction' must be a positive number")
+        flit_width = payload.get("flit_width", 32)
+        if isinstance(flit_width, bool) or not isinstance(flit_width, int) or flit_width <= 0:
+            raise ApiError("field 'flit_width' must be a positive integer")
+        scheduler_name = payload.get("scheduler", "greedy")
+        if not isinstance(scheduler_name, str):
+            raise ApiError("field 'scheduler' must be a scheduler name")
+        try:
+            scheduler_name = canonical_scheduler_name(scheduler_name)
+        except ConfigurationError as exc:
+            raise ApiError(str(exc)) from exc
+
+        started = time.perf_counter()
+        with self._system_lock:
+            system = self.system_cache.get(system_name, flit_width=flit_width)
+        planner = TestPlanner(system, scheduler=make_scheduler(scheduler_name))
+        try:
+            result = planner.plan(reused_processors=reused, power_limit_fraction=fraction)
+        except ReproError as exc:
+            # An infeasible request (e.g. a power ceiling below any single
+            # test) is the caller's input problem, not a server fault.
+            raise ApiError(f"planning failed: {exc}") from exc
+        response = {
+            "system": system_name.lower(),
+            "scheduler": scheduler_name,
+            "reused_processors": reused,
+            "power_limit_fraction": fraction,
+            "power_label": power_series_label(fraction),
+            "flit_width": flit_width,
+            "makespan": result.makespan,
+            "test_count": result.test_count,
+            "peak_power": round(result.peak_power(), 6),
+            "average_parallelism": round(result.average_parallelism(), 6),
+            "elapsed_ms": round((time.perf_counter() - started) * 1000.0, 3),
+        }
+        if payload.get("include_assignments"):
+            rows = schedule_to_rows(result)
+            for row in rows:
+                row["power"] = round(float(row["power"]), 6)
+            response["assignments"] = rows
+        return response
+
+    # ------------------------------------------------------------------
+    # Background sweeps.
+    # ------------------------------------------------------------------
+    def submit_sweep(self, payload: Mapping) -> dict:
+        """Enqueue one sweep grid (the ``POST /sweeps`` handler's core).
+
+        Args:
+            payload: the request object — ``spec`` (a
+                :meth:`SweepSpec.to_dict <repro.runner.spec.SweepSpec.to_dict>`
+                object, required), ``backend``, ``jobs``, ``resume``.
+
+        Raises:
+            ApiError: for unknown fields, a malformed spec, or an unknown
+                backend (400); queue shutdown (503).
+        """
+        unknown = set(payload) - SWEEP_FIELDS
+        if unknown:
+            raise ApiError(
+                "unknown sweep field(s) "
+                + ", ".join(sorted(repr(name) for name in unknown))
+                + "; accepted: "
+                + ", ".join(sorted(SWEEP_FIELDS))
+            )
+        spec_data = payload.get("spec")
+        if not isinstance(spec_data, Mapping):
+            raise ApiError("field 'spec' must be a sweep-spec object (SweepSpec.to_dict)")
+        try:
+            spec = SweepSpec.from_dict(spec_data)
+        except ConfigurationError as exc:
+            raise ApiError(f"invalid sweep spec: {exc}") from exc
+        backend = payload.get("backend", "serial")
+        if not isinstance(backend, str):
+            raise ApiError("field 'backend' must be a backend name")
+        jobs = payload.get("jobs", 1)
+        if isinstance(jobs, bool) or not isinstance(jobs, int) or jobs < 0:
+            raise ApiError("field 'jobs' must be a non-negative integer (0 = one per CPU)")
+        resume = payload.get("resume", False)
+        if not isinstance(resume, bool):
+            raise ApiError("field 'resume' must be a boolean")
+        snapshot = self.jobs.submit(spec, backend=backend, jobs=jobs, resume=resume)
+        snapshot["url"] = f"/sweeps/{snapshot['job_id']}"
+        return snapshot
+
+    def sweep_status(self, job_id: str) -> dict:
+        """Job snapshot plus store-side progress (``GET /sweeps/<id>``).
+
+        Progress comes from the store's per-run counters and record counts,
+        read through a fresh WAL reader — the job's writer thread is never
+        consulted, so a status poll can never block execution.
+
+        Raises:
+            ApiError: for an unknown job id (404).
+        """
+        job = self.jobs.get(job_id)
+        with self._reader() as db:
+            stored_records = db.record_count(job["spec_key"])
+            run_count = db.run_count(job["spec_key"])
+        point_count = job["point_count"]
+        return {
+            "job": job,
+            "progress": {
+                "stored_records": stored_records,
+                "point_count": point_count,
+                "fraction": (stored_records / point_count) if point_count else 1.0,
+                "run_count": run_count,
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # History reads (cached).
+    # ------------------------------------------------------------------
+    def win_rates(self, *, system: str | None = None) -> dict:
+        """Scheduler win-rate rows (``GET /history/win-rates``).
+
+        Rows are exactly :meth:`SweepDatabase.win_rate_rows
+        <repro.runner.db.SweepDatabase.win_rate_rows>` — the same SQL
+        aggregation ``repro history`` prints — cached per
+        ``(query, store version)``.
+
+        Raises:
+            ApiError: for an unknown ``system`` filter (400).
+        """
+        return self._cached_history(
+            "win-rates", system, lambda db, wanted: db.win_rate_rows(system=wanted)
+        )
+
+    def trajectory(self, *, system: str | None = None) -> dict:
+        """Makespan-over-runs rows (``GET /history/trajectory``).
+
+        Rows are :meth:`SweepDatabase.trajectory_rows
+        <repro.runner.db.SweepDatabase.trajectory_rows>` with the mean
+        derived the same way :func:`repro.analysis.history.makespan_trajectory_sql`
+        derives it, cached per ``(query, store version)``.
+
+        Raises:
+            ApiError: for an unknown ``system`` filter (400).
+        """
+
+        def rows(db: SweepDatabase, wanted: str | None) -> list[dict]:
+            out = []
+            for row in db.trajectory_rows(system=wanted):
+                row = dict(row)
+                row["mean_makespan"] = row["total_makespan"] / row["record_count"]
+                out.append(row)
+            return out
+
+        return self._cached_history("trajectory", system, rows)
+
+    def _cached_history(self, what: str, system: str | None, query) -> dict:
+        """Serve one history aggregation through the TTL cache."""
+        wanted = self._validate_system(system)
+        with self._reader() as db:
+            version = db.data_version()
+            key = (what, wanted, version)
+            cached = self.read_cache.get(key)
+            if cached is not None:
+                return dict(cached, cached=True)
+            payload = {
+                "rows": query(db, wanted),
+                "system": wanted,
+                "store_version": {"records": version[0], "runs": version[1]},
+            }
+        self.read_cache.put(key, payload)
+        return dict(payload, cached=False)
+
+    def _validate_system(self, system: str | None) -> str | None:
+        """Normalise an optional ``system`` query parameter.
+
+        Raises:
+            ApiError: when the value names no paper system.
+        """
+        if system is None:
+            return None
+        if system.lower() not in PAPER_SYSTEMS:
+            known = ", ".join(sorted(PAPER_SYSTEMS))
+            raise ApiError(f"unknown system {system!r}; known systems: {known}")
+        return system.lower()
+
+    def _reader(self) -> SweepDatabase:
+        """A fresh short-lived WAL reader connection onto the store."""
+        return SweepDatabase(self.store_path)

@@ -1,0 +1,52 @@
+"""Pins ``docs/api.md`` to the server's route table, so neither can drift."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.serve.http import ROUTES
+
+DOCS = Path(__file__).resolve().parents[2] / "docs"
+
+#: A documented route is a heading like ``### `GET /healthz` ``.
+ROUTE_HEADING = re.compile(r"^### `(GET|POST|PUT|PATCH|DELETE) (/[^`]*)`", re.MULTILINE)
+
+
+@pytest.fixture(scope="module")
+def api_doc():
+    return (DOCS / "api.md").read_text(encoding="utf-8")
+
+
+class TestApiDocSync:
+    def test_documented_routes_equal_the_route_table(self, api_doc):
+        documented = ROUTE_HEADING.findall(api_doc)
+        implemented = [(route.method, route.pattern) for route in ROUTES]
+        assert documented == implemented, (
+            "docs/api.md route headings and repro.serve.http.ROUTES diverge; "
+            "document every route as a '### `METHOD /path`' heading, in "
+            "route-table order"
+        )
+
+    def test_error_statuses_are_documented(self, api_doc):
+        for status in ("400", "404", "405", "411", "413", "503"):
+            assert f"`{status}`" in api_doc, f"status {status} is undocumented"
+
+    def test_cli_entry_point_is_documented(self, api_doc):
+        assert "serve --store" in api_doc
+
+    def test_architecture_doc_names_the_store_invariants(self):
+        text = (DOCS / "architecture.md").read_text(encoding="utf-8")
+        assert "byte-identical" in text
+        assert "one-writer" in text.lower() or "one writer" in text.lower()
+        assert "data version" in text
+
+
+class TestRouteTableShape:
+    def test_routes_are_unique(self):
+        pairs = [(route.method, route.pattern) for route in ROUTES]
+        assert len(pairs) == len(set(pairs))
+
+    def test_patterns_are_rooted(self):
+        for route in ROUTES:
+            assert route.pattern.startswith("/")

@@ -1,0 +1,208 @@
+"""End-to-end tests of the daemon over real HTTP, via the example client."""
+
+import importlib.util
+import json
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+from repro.runner.db import SweepDatabase
+from repro.serve import ROUTES, create_server
+
+EXAMPLE = Path(__file__).resolve().parents[2] / "examples" / "serve_client.py"
+
+
+def load_client_module():
+    """Import ``examples/serve_client.py`` as a module (it is not a package)."""
+    spec = importlib.util.spec_from_file_location("serve_client", EXAMPLE)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+serve_client = load_client_module()
+
+
+@pytest.fixture(scope="module")
+def daemon(tmp_path_factory):
+    """One live daemon on an ephemeral port, shared by the module's tests."""
+    store = tmp_path_factory.mktemp("serve") / "serve.db"
+    server = create_server(store, port=0, cache_ttl=60.0, characterize=False)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.close()
+        thread.join(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def client(daemon):
+    return serve_client.ServeClient(daemon.url)
+
+
+def http_error(client, method, path, body=None):
+    """Issue one raw request and return the HTTPError the daemon answers."""
+    data = None if body is None else body.encode("utf-8")
+    request = urllib.request.Request(client.base_url + path, data=data, method=method)
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=30)
+    return excinfo.value
+
+
+class TestEndToEnd:
+    def test_client_drives_the_full_api(self, daemon, client, capsys):
+        """The example client's own checks pass against a live daemon.
+
+        This is the CI serve-smoke flow in-process: healthz, two plans, a
+        sweep job polled to completion, history reads, and the row-for-row
+        cross-check of the HTTP history responses against the library's
+        SQL aggregations over the daemon's store.
+        """
+        exit_code = serve_client.main(
+            [
+                "--base-url",
+                daemon.url,
+                "--system",
+                "d695_plasma",
+                "--expect-store",
+                str(daemon.service.store_path),
+            ]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "all checks passed" in out
+        assert "match the library SQL" in out
+
+    def test_history_rows_equal_library_sql(self, daemon, client):
+        win = client.win_rates()["rows"]
+        trajectory = client.trajectory()["rows"]
+        with SweepDatabase(daemon.service.store_path) as db:
+            assert win == db.win_rate_rows()
+            assert [
+                {key: value for key, value in row.items() if key != "mean_makespan"}
+                for row in trajectory
+            ] == db.trajectory_rows()
+
+    def test_resubmitted_sweep_resumes(self, client):
+        spec = {
+            "name": "http-resume",
+            "systems": ["d695_plasma"],
+            "processor_counts": [0, 2],
+        }
+        first = client.submit_sweep(spec)
+        done = client.wait_for_job(first["job_id"], timeout=120)
+        assert done["job"]["executed_points"] == 2
+        second = client.submit_sweep(spec, resume=True)
+        done = client.wait_for_job(second["job_id"], timeout=120)
+        assert done["job"]["executed_points"] == 0
+        assert done["job"]["skipped_points"] == 2
+
+    def test_health_counts_jobs_and_store_writes(self, client):
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["jobs"] >= 1
+        assert health["store_version"]["records"] >= 2
+
+
+class TestErrorMapping:
+    def test_unknown_path_is_404_with_route_list(self, client):
+        error = http_error(client, "GET", "/nowhere")
+        assert error.code == 404
+        payload = json.loads(error.read())
+        assert payload["routes"] == [f"{r.method} {r.pattern}" for r in ROUTES]
+
+    def test_wrong_method_is_405_with_allow(self, client):
+        error = http_error(client, "GET", "/plan")
+        assert error.code == 405
+        assert error.headers["Allow"] == "POST"
+
+    @pytest.mark.parametrize("method", ["PUT", "PATCH", "DELETE"])
+    def test_unrouted_verbs_are_405_not_501(self, client, method):
+        # http.server answers 501 for verbs without a do_* handler; the
+        # daemon wires them into the dispatcher so known routes stay 405.
+        error = http_error(client, method, "/plan", body='{"system": "d695_leon"}')
+        assert error.code == 405
+        assert error.headers["Allow"] == "POST"
+
+    def test_post_without_content_length_is_411(self, daemon):
+        import http.client
+
+        host, port = daemon.server_address[:2]
+        connection = http.client.HTTPConnection(host, port, timeout=30)
+        try:
+            connection.putrequest("POST", "/plan")
+            connection.endheaders()
+            response = connection.getresponse()
+            assert response.status == 411
+        finally:
+            connection.close()
+
+    def test_post_with_empty_body_is_400(self, client):
+        error = http_error(client, "POST", "/plan", body="")
+        assert error.code == 400
+
+    def test_invalid_json_body_is_400(self, client):
+        error = http_error(client, "POST", "/plan", body="{not json")
+        assert error.code == 400
+        assert "not valid JSON" in json.loads(error.read())["error"]
+
+    def test_non_object_body_is_400(self, client):
+        error = http_error(client, "POST", "/plan", body="[1, 2]")
+        assert error.code == 400
+        assert "JSON object" in json.loads(error.read())["error"]
+
+    def test_unknown_system_is_400(self, client):
+        with pytest.raises(serve_client.ServeError) as excinfo:
+            client.plan({"system": "atlantis"})
+        assert excinfo.value.status == 400
+
+    def test_unknown_job_is_404(self, client):
+        with pytest.raises(serve_client.ServeError) as excinfo:
+            client.sweep_status("job-999-deadbeef")
+        assert excinfo.value.status == 404
+
+    def test_unknown_query_system_is_400(self, client):
+        with pytest.raises(serve_client.ServeError) as excinfo:
+            client.win_rates(system="atlantis")
+        assert excinfo.value.status == 400
+
+
+class TestRouteTable:
+    def test_patterns_capture_parameters(self):
+        route = next(r for r in ROUTES if "<id>" in r.pattern)
+        assert route.match("/sweeps/job-1-abcd1234") == {"id": "job-1-abcd1234"}
+        assert route.match("/sweeps/") is None
+        assert route.match("/sweeps/a/b") is None
+
+    def test_static_patterns_match_exactly(self):
+        route = next(r for r in ROUTES if r.pattern == "/healthz")
+        assert route.match("/healthz") == {}
+        assert route.match("/healthz/x") is None
+
+    def test_every_route_has_a_handler(self):
+        from repro.serve import http as serve_http
+
+        for route in ROUTES:
+            assert callable(getattr(serve_http, route.handler))
+
+
+class TestCli:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--store", "serve.db"])
+        assert args.handler.__name__ == "_cmd_serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8787
+        assert args.cache_ttl == 2.0
+        assert args.no_characterize is False
+
+    def test_store_is_required(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+        assert "--store" in capsys.readouterr().err
