@@ -473,7 +473,9 @@ def _run_sweeps_stored(
     """Execute every spec (or one shard of it) against the sqlite store."""
     sharded = args.shard_count is not None
     executed = skipped = 0
-    with SweepDatabase(args.store) as db:
+    # A sweep run is a genuine writer entry point: this process owns the
+    # (shard) store for the duration of the run.
+    with SweepDatabase(args.store) as db:  # repro-lint: disable=RL002
         reports = []
         for spec in specs:
             if sharded:
@@ -516,7 +518,9 @@ def _run_sweeps_orchestrated(
     """
     workdir = getattr(args, "workdir", None)
     records = runs = 0
-    with SweepDatabase(args.store) as db:
+    # The orchestration target store: this process is its one writer while
+    # the shard workers write only their own per-shard stores.
+    with SweepDatabase(args.store) as db:  # repro-lint: disable=RL002
         reports = []
         for spec in specs:
             report = runner.orchestrate(spec, db, resume=args.resume, workdir=workdir)
@@ -568,7 +572,7 @@ def _cmd_orchestrate(args: argparse.Namespace) -> int:
     specs = _build_sweep_specs(args)
     _run_sweeps_orchestrated(args, runner, specs)
     if args.export_json:
-        with SweepDatabase(args.store) as db:
+        with SweepDatabase.open_reader(args.store) as db:
             written = db.export_document(args.export_json)
         print(f"wrote {written}")
     return 0
@@ -593,9 +597,12 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     merged = False
     try:
         with contextlib.ExitStack() as stack:
-            out = stack.enter_context(SweepDatabase(output))
+            # The merge target is the command's one writer; the shards are
+            # never modified, so they open through the read path.
+            out = stack.enter_context(SweepDatabase(output))  # repro-lint: disable=RL002
             shards = [
-                stack.enter_context(SweepDatabase(path)) for path in shard_paths
+                stack.enter_context(SweepDatabase.open_reader(path))
+                for path in shard_paths
             ]
             # merge_all validates every shard (against the store AND against
             # each other) before writing, so a conflict anywhere leaves a
@@ -635,7 +642,12 @@ def _cmd_history(args: argparse.Namespace) -> int:
             f"or seed it from a JSON document with --import-json"
         )
     try:
-        with SweepDatabase(path) as db:
+        if args.import_json:
+            # Seeding an import writes; a plain history query only reads.
+            db = SweepDatabase(path)  # repro-lint: disable=RL002
+        else:
+            db = SweepDatabase.open_reader(path)
+        with db:
             if args.import_json:
                 imported = db.import_document(args.import_json)
                 print(f"imported {imported} record(s) from {args.import_json}")
@@ -680,6 +692,25 @@ def _cmd_export_soc(args: argparse.Namespace) -> int:
     for path in written:
         print(f"wrote {path}")
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools import Linter, RULES, get_rules
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule.rule_id}  [{rule.severity}]  {rule.title}")
+        return 0
+    rules = get_rules(args.rules)
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        raise ConfigurationError(f"no such path(s): {', '.join(missing)}")
+    report = Linter(rules).lint_paths(args.paths)
+    if args.format == "json":
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+    else:
+        print(report.format_text())
+    return 0 if report.ok else 1
 
 
 def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
@@ -1057,6 +1088,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     export_soc.add_argument("directory")
     export_soc.set_defaults(handler=_cmd_export_soc)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="run the repo-specific AST invariant checker (see docs/devtools.md)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE",
+        help="restrict to the given rule id (repeatable, e.g. --rule RL001)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the available rules and exit",
+    )
+    lint.set_defaults(handler=_cmd_lint)
 
     return parser
 

@@ -1,0 +1,31 @@
+"""Developer tooling for the reproduction — currently the ``repro lint``
+AST-based invariant checker (see :mod:`repro.devtools.framework` for the
+rule machinery and :mod:`repro.devtools.rules` for the shipped rules)."""
+
+from .framework import (
+    Finding,
+    Linter,
+    LintReport,
+    LintRule,
+    ModuleSource,
+    PARSE_ERROR_RULE_ID,
+    ProjectLintRule,
+    Suppressions,
+    parse_suppressions,
+)
+from .rules import KNOWN_API_STATUSES, RULES, get_rules
+
+__all__ = [
+    "Finding",
+    "Linter",
+    "LintReport",
+    "LintRule",
+    "ModuleSource",
+    "PARSE_ERROR_RULE_ID",
+    "ProjectLintRule",
+    "Suppressions",
+    "parse_suppressions",
+    "KNOWN_API_STATUSES",
+    "RULES",
+    "get_rules",
+]

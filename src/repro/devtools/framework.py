@@ -1,0 +1,397 @@
+"""The rule framework behind ``repro lint`` (see :mod:`repro.devtools.rules`).
+
+The reproduction's headline guarantees — byte-identical sharded/merged
+exports, the serve store's one-writer/many-readers model, atomic persistence
+— are *invariants of the source tree*, not just of any one test run.  This
+module provides the machinery that turns them into machine-checked
+contracts: a :class:`LintRule` inspects a parsed module (or, for
+:class:`ProjectLintRule`, the whole linted file set) and emits
+:class:`Finding` objects; the :class:`Linter` drives rules over a file set,
+honours suppressions, and folds everything into a :class:`LintReport` the
+CLI can print as text or JSON.
+
+Suppressions use the directive ``# repro-lint: disable=RL001`` (several
+rules comma-separated):
+
+* trailing a code line, the directive silences the named rules **on that
+  line only** — the idiom for a justified exception, e.g. a legitimate
+  writer entry point;
+* on a comment-only line, the directive silences the named rules for the
+  **whole file**.
+
+The analyzer is purely syntactic (stdlib :mod:`ast` / :mod:`tokenize`):
+nothing is imported or executed, so fixture trees full of deliberate
+violations are safe to lint, and a file that does not parse surfaces as a
+finding (pseudo-rule ``RL000``) instead of crashing the run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping, Sequence
+
+#: Pseudo rule id for files the analyzer cannot parse at all.
+PARSE_ERROR_RULE_ID = "RL000"
+
+#: The suppression directive:  ``# repro-lint: disable=RL001[,RL002...]``.
+_DIRECTIVE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        rule_id: the violated rule (``RL001``...; ``RL000`` for parse errors).
+        path: file the finding anchors to.
+        line: 1-based line of the offending node.
+        column: 1-based column of the offending node.
+        severity: ``"error"`` (every shipped rule) or ``"warning"``.
+        message: what is wrong, specifically.
+        hint: how to fix it (the rule's ``fix_hint``).
+    """
+
+    rule_id: str
+    path: Path
+    line: int
+    column: int
+    severity: str
+    message: str
+    hint: str
+
+    def format_text(self) -> str:
+        """The one-line text rendering (``path:line:col: [RULE] message``)."""
+        return (
+            f"{self.path.as_posix()}:{self.line}:{self.column}: "
+            f"[{self.rule_id}] {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready view of the finding (the ``--format json`` rows)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path.as_posix(),
+            "line": self.line,
+            "column": self.column,
+            "severity": self.severity,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+
+@dataclass(frozen=True)
+class Suppressions:
+    """Parsed ``# repro-lint: disable=...`` directives of one file.
+
+    Attributes:
+        file_level: rule ids silenced for the whole file (comment-only
+            directive lines).
+        by_line: rule ids silenced per line (directives trailing code).
+    """
+
+    file_level: frozenset[str] = frozenset()
+    by_line: Mapping[int, frozenset[str]] = field(default_factory=dict)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is silenced at ``line``."""
+        if rule_id in self.file_level:
+            return True
+        return rule_id in self.by_line.get(line, frozenset())
+
+
+def parse_suppressions(text: str) -> Suppressions:
+    """Extract every suppression directive from ``text``.
+
+    Directives are read off the token stream, so they are found in any
+    comment position but never inside string literals.  A file with
+    tokenizer errors (which :func:`ast.parse` would reject anyway) yields
+    whatever directives were read before the error.
+    """
+    file_level: set[str] = set()
+    by_line: dict[int, frozenset[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        tokens = []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _DIRECTIVE.search(token.string)
+        if match is None:
+            continue
+        rules = frozenset(
+            name.strip() for name in match.group(1).split(",") if name.strip()
+        )
+        if not rules:
+            continue
+        line_number, column = token.start
+        source_line = token.line
+        if source_line[:column].strip():
+            # Trailing a code line: line-level suppression.
+            by_line[line_number] = by_line.get(line_number, frozenset()) | rules
+        else:
+            file_level.update(rules)
+    return Suppressions(file_level=frozenset(file_level), by_line=by_line)
+
+
+@dataclass(frozen=True)
+class ModuleSource:
+    """One parsed source file, as the rules see it.
+
+    Attributes:
+        path: the file's path (scoping and allowlists match on its posix
+            form, so rules behave identically on the real tree and on
+            fixture trees that mirror the ``repro/...`` layout).
+        text: the raw source.
+        tree: the parsed AST.
+        suppressions: the file's ``# repro-lint`` directives.
+    """
+
+    path: Path
+    text: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+    @classmethod
+    def parse(cls, path: Path, text: str) -> "ModuleSource":
+        """Parse ``text`` into a :class:`ModuleSource`.
+
+        Raises:
+            SyntaxError: when the file does not parse (the linter converts
+                this into an ``RL000`` finding).
+        """
+        return cls(
+            path=path,
+            text=text,
+            tree=ast.parse(text),
+            suppressions=parse_suppressions(text),
+        )
+
+
+def path_matches(path: Path, fragments: Sequence[str]) -> bool:
+    """Whether ``path`` falls under any of the posix path ``fragments``.
+
+    Matching is by substring on the posix form (``repro/schedule/`` matches
+    ``src/repro/schedule/greedy.py`` as well as a fixture tree's
+    ``tmp/.../repro/schedule/mod.py``), which keeps scoping identical across
+    checkouts and test fixtures.
+    """
+    posix = path.as_posix()
+    return any(fragment in posix for fragment in fragments)
+
+
+class LintRule:
+    """Base class of every per-file rule.
+
+    Class attributes (the registry contract, pinned by ``docs/devtools.md``
+    and its test):
+
+    * ``rule_id`` — stable identifier (``RL001``...), the suppression and
+      ``--rule`` handle.
+    * ``title`` — one-line summary used by ``--list-rules`` and the docs.
+    * ``severity`` — ``"error"`` or ``"warning"``.
+    * ``rationale`` — why the invariant is load-bearing for this repo.
+    * ``fix_hint`` — what a violator should do instead.
+    * ``scope`` — posix path fragments the rule applies to (``None`` = every
+      linted file).
+    """
+
+    rule_id: str = "RL999"
+    title: str = "abstract rule"
+    severity: str = "error"
+    rationale: str = ""
+    fix_hint: str = ""
+    scope: tuple[str, ...] | None = None
+
+    def applies_to(self, path: Path) -> bool:
+        """Whether this rule inspects ``path`` at all."""
+        if self.scope is None:
+            return True
+        return path_matches(path, self.scope)
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        """Yield every violation of this rule in ``module``."""
+        raise NotImplementedError
+
+    def finding(self, module: ModuleSource, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node`` (helper for subclasses)."""
+        return Finding(
+            rule_id=self.rule_id,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            severity=self.severity,
+            message=message,
+            hint=self.fix_hint,
+        )
+
+
+class ProjectLintRule(LintRule):
+    """A rule that inspects the whole linted file set at once.
+
+    Cross-file contracts (registry completeness, docs pinning) cannot be
+    expressed per file; the linter calls :meth:`check_project` exactly once
+    with every parsed module, and still applies each finding's file-level
+    and line-level suppressions.
+    """
+
+    def check(self, module: ModuleSource) -> Iterator[Finding]:
+        """Project rules do not run per file."""
+        return iter(())
+
+    def check_project(self, modules: Sequence[ModuleSource]) -> Iterator[Finding]:
+        """Yield every violation across ``modules``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """The outcome of one linter run.
+
+    Attributes:
+        findings: every unsuppressed finding, ordered by path, line, column
+            and rule id (deterministic across runs and machines).
+        files: every file that was checked, in the same order they were
+            linted.
+        rules: the rules that were active.
+    """
+
+    findings: tuple[Finding, ...]
+    files: tuple[Path, ...]
+    rules: tuple[LintRule, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run found nothing."""
+        return not self.findings
+
+    def format_text(self) -> str:
+        """Human-readable rendering: one line per finding plus a summary."""
+        lines = []
+        for finding in self.findings:
+            lines.append(finding.format_text())
+            if finding.hint:
+                lines.append(f"    hint: {finding.hint}")
+        summary = (
+            f"checked {len(self.files)} file(s): "
+            + (f"{len(self.findings)} finding(s)" if self.findings else "clean")
+        )
+        return "\n".join([*lines, summary])
+
+    def to_json(self) -> dict:
+        """JSON-ready view (what ``repro lint --format json`` prints)."""
+        return {
+            "tool": "repro-lint",
+            "rules": [
+                {
+                    "id": rule.rule_id,
+                    "title": rule.title,
+                    "severity": rule.severity,
+                }
+                for rule in self.rules
+            ],
+            "files_checked": len(self.files),
+            "findings": [finding.to_dict() for finding in self.findings],
+            "summary": {
+                "findings": len(self.findings),
+                "errors": sum(1 for f in self.findings if f.severity == "error"),
+                "warnings": sum(1 for f in self.findings if f.severity == "warning"),
+            },
+        }
+
+
+class Linter:
+    """Drives a rule set over a file set and applies suppressions.
+
+    Args:
+        rules: the active rules, in report order (typically
+            :data:`repro.devtools.rules.RULES` or a ``--rule`` subset).
+    """
+
+    def __init__(self, rules: Sequence[LintRule]) -> None:
+        self.rules = tuple(rules)
+
+    def lint_paths(self, paths: Iterable[str | Path]) -> LintReport:
+        """Lint every ``.py`` file under ``paths`` (files or directories).
+
+        Directories are walked recursively; the file order is sorted by
+        posix path, so reports are deterministic regardless of filesystem
+        enumeration order.
+        """
+        files: list[Path] = []
+        seen: set[Path] = set()
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+            else:
+                candidates = [path]
+            for candidate in candidates:
+                if candidate not in seen:
+                    seen.add(candidate)
+                    files.append(candidate)
+        return self.lint_files(files)
+
+    def lint_files(self, files: Sequence[Path]) -> LintReport:
+        """Lint an explicit file list (the order is preserved)."""
+        findings: list[Finding] = []
+        modules: list[ModuleSource] = []
+        by_path: dict[Path, ModuleSource] = {}
+        for path in files:
+            try:
+                module = ModuleSource.parse(path, path.read_text(encoding="utf-8"))
+            except (SyntaxError, ValueError) as exc:
+                findings.append(
+                    Finding(
+                        rule_id=PARSE_ERROR_RULE_ID,
+                        path=path,
+                        line=getattr(exc, "lineno", None) or 1,
+                        column=1,
+                        severity="error",
+                        message=f"file does not parse: {exc}",
+                        hint="repro lint only checks syntactically valid Python",
+                    )
+                )
+                continue
+            modules.append(module)
+            by_path[module.path] = module
+
+        for module in modules:
+            for rule in self.rules:
+                if isinstance(rule, ProjectLintRule) or not rule.applies_to(module.path):
+                    continue
+                for finding in rule.check(module):
+                    if not module.suppressions.is_suppressed(finding.rule_id, finding.line):
+                        findings.append(finding)
+        for rule in self.rules:
+            if not isinstance(rule, ProjectLintRule):
+                continue
+            for finding in rule.check_project(modules):
+                module = by_path.get(finding.path)
+                if module is not None and module.suppressions.is_suppressed(
+                    finding.rule_id, finding.line
+                ):
+                    continue
+                findings.append(finding)
+
+        findings.sort(key=lambda f: (f.path.as_posix(), f.line, f.column, f.rule_id))
+        return LintReport(
+            findings=tuple(findings), files=tuple(files), rules=self.rules
+        )
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """The dotted name of a ``Name``/``Attribute`` chain (``a.b.c``), else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

@@ -49,6 +49,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.errors import ConfigurationError, OrchestrationError
+from repro.runner.atomic import atomic_write_text
 from repro.runner.cache import SystemCache
 from repro.runner.spec import SHARD_STRATEGIES, SweepPoint, SweepSpec, make_scheduler
 from repro.schedule.planner import TestPlanner
@@ -360,9 +361,11 @@ class ShardWorkerBackend(ExecutionBackend):
         workdir = workdir / spec.content_key()[:12]
         workdir.mkdir(parents=True, exist_ok=True)
         spec_path = workdir / "spec.json"
-        spec_path.write_text(
+        # Atomic: a worker (or a resumed orchestration) must never read a
+        # torn spec file.
+        atomic_write_text(
+            spec_path,
             json.dumps(spec.to_dict(), indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
         )
         plans = []
         for index in range(self.workers):
@@ -470,7 +473,7 @@ class ShardWorkerBackend(ExecutionBackend):
             )
 
         spec_key = store.ensure_sweep(spec)
-        shard_stores = [SweepDatabase(plan.store_path) for plan in plans]
+        shard_stores = [SweepDatabase.open_reader(plan.store_path) for plan in plans]
         try:
             merge_reports = store.merge_all(
                 shard_stores, expect_spec_key=spec_key, carry_history=True
@@ -508,7 +511,9 @@ class ShardWorkerBackend(ExecutionBackend):
                     if self.worker_command is not None
                     else list(plan.argv)
                 )
-                log_file = open(plan.log_path, "wb")
+                # A live subprocess stream, not an artifact — atomic staging
+                # cannot apply to a file written while the worker runs.
+                log_file = open(plan.log_path, "wb")  # repro-lint: disable=RL003
                 log_files.append(log_file)
                 processes.append(
                     (

@@ -178,17 +178,26 @@ class SweepDatabase:
             integrity check on load.
     """
 
-    def __init__(self, path: str | Path) -> None:
+    def __init__(self, path: str | Path, *, read_only: bool = False) -> None:
         self._path = Path(path)
-        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._read_only = read_only
         try:
-            self._connection = sqlite3.connect(self._path)
+            if read_only:
+                # mode=ro keeps sqlite itself from creating or mutating the
+                # file, so a reader can never become an accidental writer.
+                self._connection = sqlite3.connect(
+                    f"file:{self._path}?mode=ro", uri=True
+                )
+            else:
+                self._path.parent.mkdir(parents=True, exist_ok=True)
+                self._connection = sqlite3.connect(self._path)
         except sqlite3.Error as exc:
             raise ResultStoreError(f"cannot open sqlite store {self._path}: {exc}") from exc
         self._connection.row_factory = sqlite3.Row
         try:
-            self._connection.execute("PRAGMA journal_mode=WAL")
-            self._connection.execute("PRAGMA synchronous=NORMAL")
+            if not read_only:
+                self._connection.execute("PRAGMA journal_mode=WAL")
+                self._connection.execute("PRAGMA synchronous=NORMAL")
             self._connection.execute("PRAGMA foreign_keys=ON")
             self._init_schema()
         except sqlite3.DatabaseError as exc:
@@ -196,6 +205,36 @@ class SweepDatabase:
             raise ResultStoreError(
                 f"{self._path} is not a usable sqlite sweep store: {exc}"
             ) from exc
+
+    @classmethod
+    def open_reader(cls, path: str | Path) -> "SweepDatabase":
+        """Open an existing store read-only — the documented read path.
+
+        This is how everything outside ``runner/db.py`` and the serve job
+        queue accesses a store (the one-writer/many-readers model; enforced
+        by lint rule RL002).  The connection uses sqlite's ``mode=ro`` URI
+        flag, so write attempts fail at the sqlite layer too, and
+        :meth:`record_run`/:meth:`ensure_sweep`/:meth:`merge` raise
+        :class:`ResultStoreError` up front.
+
+        Raises:
+            ResultStoreError: when the store does not exist or is not a
+                sqlite store of this schema version.
+        """
+        return cls(path, read_only=True)
+
+    @property
+    def read_only(self) -> bool:
+        """Whether this handle was opened through :meth:`open_reader`."""
+        return self._read_only
+
+    def _require_writable(self, operation: str) -> None:
+        if self._read_only:
+            raise ResultStoreError(
+                f"cannot {operation} through a read-only store handle "
+                f"(opened with SweepDatabase.open_reader); open "
+                f"SweepDatabase({str(self._path)!r}) in the writer instead"
+            )
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -216,6 +255,18 @@ class SweepDatabase:
         self.close()
 
     def _init_schema(self) -> None:
+        if self._read_only:
+            # Readers validate, never create: the writer owns the schema.
+            row = self._connection.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None or row["value"] != str(DB_SCHEMA_VERSION):
+                found = "no version marker" if row is None else f"version {row['value']}"
+                raise ResultStoreError(
+                    f"sqlite store {self._path} has {found}; "
+                    f"this reader supports version {DB_SCHEMA_VERSION}"
+                )
+            return
         with self._connection:
             self._connection.executescript(_SCHEMA)
             row = self._connection.execute(
@@ -237,6 +288,7 @@ class SweepDatabase:
     # ------------------------------------------------------------------
     def ensure_sweep(self, spec: SweepSpec) -> str:
         """Register ``spec`` (idempotent) and return its spec key."""
+        self._require_writable("register a sweep")
         spec_key = spec.content_key()
         with self._connection:
             self._connection.execute(
@@ -285,8 +337,14 @@ class SweepDatabase:
         source run's timestamp so the carried run keeps its place on the
         history time axis.
         """
+        self._require_writable("record a run")
         if created_at is None:
-            created_at = datetime.now(timezone.utc).isoformat(timespec="seconds")
+            # Run timestamps are provenance metadata on the history axis, not
+            # planner inputs — export documents omit them, so byte-identity
+            # of exports is unaffected.
+            created_at = datetime.now(timezone.utc).isoformat(  # repro-lint: disable=RL001
+                timespec="seconds"
+            )
         with self._connection:
             cursor = self._connection.execute(
                 "INSERT INTO runs (spec_key, source, executed_points, "
@@ -505,6 +563,7 @@ class SweepDatabase:
             ResultStoreError: for a spec-key mismatch, a conflicting
                 record, or a source store that fails its integrity checks.
         """
+        self._require_writable("merge into the store")
         planned = self._plan_merge({}, other, expect_spec_key)
         if carry_history:
             spec_keys = {sweep.spec_key for sweep, _, _ in planned}
@@ -534,6 +593,7 @@ class SweepDatabase:
             ResultStoreError: as :meth:`merge`; nothing is written when
                 raised.
         """
+        self._require_writable("merge into the store")
         state: dict[str, dict[int, str]] = {}
         plans = [self._plan_merge(state, other, expect_spec_key) for other in others]
         if carry_history:

@@ -148,6 +148,11 @@ class SweepJobQueue:
             else self.store_path.with_name(self.store_path.name + ".workers")
         )
         self._on_finished = on_finished
+        # Create (and validate) the store before the daemon opens any reader:
+        # the queue owns the store's writer role, so schema creation is its
+        # job, and readers opened later never race it.
+        with SweepDatabase(self.store_path):
+            pass
         self._jobs: dict[str, SweepJob] = {}
         self._lock = threading.Lock()
         self._queue: "queue.Queue[SweepJob | None]" = queue.Queue()

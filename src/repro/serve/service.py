@@ -97,9 +97,6 @@ class PlanningService:
         cache_dir: str | Path | None = None,
     ) -> None:
         self.store_path = Path(store_path)
-        # Create (and validate) the store before any reader can touch it.
-        with SweepDatabase(self.store_path):
-            pass
         self.system_cache = SystemCache()
         self._system_lock = threading.Lock()
         self.read_cache = TTLCache(cache_ttl)
@@ -357,5 +354,9 @@ class PlanningService:
         return system.lower()
 
     def _reader(self) -> SweepDatabase:
-        """A fresh short-lived WAL reader connection onto the store."""
-        return SweepDatabase(self.store_path)
+        """A fresh short-lived read-only connection onto the store.
+
+        The job queue (created in ``__init__``) guarantees the store exists
+        by the time any request-path reader opens it.
+        """
+        return SweepDatabase.open_reader(self.store_path)

@@ -1,0 +1,19 @@
+"""RL005 fixture: a concrete backend missing from the registry."""
+
+
+class ExecutionBackend:
+    name = "abstract"
+
+
+class RegisteredBackend(ExecutionBackend):
+    name = "registered"
+
+
+class ForgottenBackend(ExecutionBackend):
+    # RL005: concrete, but absent from BACKEND_FACTORIES below.
+    name = "forgotten"
+
+
+BACKEND_FACTORIES = {
+    RegisteredBackend.name: RegisteredBackend,
+}

@@ -1,0 +1,14 @@
+"""RL002/RL003 fixture: a module that writes where it should not."""
+
+import sqlite3
+
+from repro.runner.db import SweepDatabase
+
+
+def sneak_write(path):
+    connection = sqlite3.connect(path)  # RL002: raw connect outside db.py
+    connection.close()
+    store = SweepDatabase(path)  # RL002: writable store outside db.py/jobs.py
+    store.close()
+    with open(path, "w", encoding="utf-8") as handle:  # RL003: non-atomic write
+        handle.write("torn artifact")

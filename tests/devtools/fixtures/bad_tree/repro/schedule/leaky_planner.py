@@ -1,0 +1,14 @@
+"""RL001 fixture: a planner that leaks ambient nondeterminism."""
+
+import random
+import time
+
+
+def plan(cores):
+    started = time.time()  # RL001: wall clock in a planner path
+    order = list(cores)
+    random.shuffle(order)  # RL001: unseeded global RNG
+    chosen = []
+    for core in {"cpu0", "cpu1"}:  # RL001: set iteration order is unstable
+        chosen.append(core)
+    return started, order, chosen

@@ -1,0 +1,24 @@
+"""RL004/RL006 fixture: a handler module that breaks the error model."""
+
+import sys
+
+from repro.errors import ApiError
+
+
+def _handle_teapot(service, request):
+    raise ApiError("short and stout", status=418)  # RL004: undocumented status
+
+
+def _handle_crash(service, request):
+    raise ValueError("not an ApiError")  # RL004: wrong exception type
+
+
+def swallow(job):
+    try:
+        job.run()
+    except Exception:  # RL004: silent swallow
+        pass
+
+
+def bail(code):
+    sys.exit(code)  # RL006: SystemExit outside the entry point

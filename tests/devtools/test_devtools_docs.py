@@ -1,0 +1,60 @@
+"""Pins ``docs/devtools.md`` (and the README) to the lint-rule registry."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import RULES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: A documented rule is a heading like ``### RL001 — <title>``.
+RULE_HEADING = re.compile(r"^### (RL\d{3}) — (.+)$", re.MULTILINE)
+
+
+@pytest.fixture(scope="module")
+def devtools_doc():
+    return (REPO_ROOT / "docs" / "devtools.md").read_text(encoding="utf-8")
+
+
+class TestRuleCatalogue:
+    def test_documented_rules_equal_the_registry_in_order(self, devtools_doc):
+        documented = [match[0] for match in RULE_HEADING.findall(devtools_doc)]
+        assert documented == [rule.rule_id for rule in RULES], (
+            "docs/devtools.md rule headings and repro.devtools.rules.RULES "
+            "diverge; document every rule as a '### RLnnn — title' heading, "
+            "in registry order"
+        )
+
+    def test_headings_carry_the_rule_titles(self, devtools_doc):
+        titles = {match[0]: match[1] for match in RULE_HEADING.findall(devtools_doc)}
+        for rule in RULES:
+            assert titles[rule.rule_id] == rule.title
+
+    def test_each_rule_section_shows_a_violation_and_rationale(self, devtools_doc):
+        sections = RULE_HEADING.split(devtools_doc)[1:]
+        # split yields [id, title, body, id, title, body, ...]
+        bodies = {sections[i]: sections[i + 2] for i in range(0, len(sections), 3)}
+        for rule in RULES:
+            body = bodies[rule.rule_id]
+            assert "**Rationale.**" in body
+            assert "Violation" in body
+
+    def test_suppression_syntax_is_documented(self, devtools_doc):
+        assert "repro-lint: disable=" in devtools_doc
+
+
+class TestReadme:
+    @pytest.fixture(scope="class")
+    def readme(self):
+        return (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+
+    def test_readme_has_a_static_analysis_section(self, readme):
+        assert "## Static analysis" in readme
+        assert "repro lint" in readme
+        assert "docs/devtools.md" in readme
+
+    def test_contributor_workflow_mentions_repro_lint(self, readme):
+        development = readme.split("## Development", 1)[1]
+        assert "lint src" in development

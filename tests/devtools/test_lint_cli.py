@@ -1,0 +1,75 @@
+"""Tests of the ``repro lint`` CLI surface — including the self-lint of the
+real ``src/`` tree and the known-bad fixture tree all six rules fire on."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.devtools import RULES
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+BAD_TREE = Path(__file__).resolve().parent / "fixtures" / "bad_tree"
+
+
+class TestSelfLint:
+    def test_src_tree_is_clean(self, capsys):
+        assert main(["lint", str(SRC)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_src_tree_is_clean_per_rule(self, capsys):
+        for rule in RULES:
+            assert main(["lint", str(SRC), "--rule", rule.rule_id]) == 0, rule.rule_id
+
+
+class TestBadFixtureTree:
+    def test_every_rule_fires_and_the_exit_code_is_nonzero(self, capsys):
+        assert main(["lint", str(BAD_TREE), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        fired = {finding["rule"] for finding in payload["findings"]}
+        assert fired == {rule.rule_id for rule in RULES}
+
+    def test_rule_filter_restricts_the_findings(self, capsys):
+        assert main(["lint", str(BAD_TREE), "--rule", "RL006", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert {finding["rule"] for finding in payload["findings"]} == {"RL006"}
+        assert [rule["id"] for rule in payload["rules"]] == ["RL006"]
+
+    def test_text_format_names_files_and_hints(self, capsys):
+        assert main(["lint", str(BAD_TREE)]) == 1
+        out = capsys.readouterr().out
+        assert "leaky_planner.py" in out
+        assert "hint:" in out
+
+
+class TestCliSurface:
+    def test_list_rules_prints_the_registry(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule.rule_id in out
+            assert rule.title in out
+
+    def test_unknown_rule_is_a_configuration_error(self, capsys):
+        assert main(["lint", str(SRC), "--rule", "RL424"]) == 1
+        assert "unknown lint rule" in capsys.readouterr().err
+
+    def test_missing_path_is_a_configuration_error(self, capsys):
+        assert main(["lint", "no/such/dir"]) == 1
+        assert "no such path" in capsys.readouterr().err
+
+    def test_json_report_on_a_clean_tree(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n", encoding="utf-8")
+        assert main(["lint", str(tmp_path), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_checked"] == 1
+        assert payload["findings"] == []
+        assert payload["summary"] == {"errors": 0, "findings": 0, "warnings": 0}
+
+    @pytest.mark.parametrize("flag", ["--format"])
+    def test_rejects_unknown_format(self, flag, capsys):
+        with pytest.raises(SystemExit):
+            main(["lint", str(SRC), flag, "yaml"])

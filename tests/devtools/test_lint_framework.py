@@ -1,0 +1,154 @@
+"""Tests of the ``repro lint`` rule framework (suppressions, reports, driver)."""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import (
+    Finding,
+    Linter,
+    PARSE_ERROR_RULE_ID,
+    RULES,
+    get_rules,
+    parse_suppressions,
+)
+from repro.devtools.framework import path_matches
+from repro.errors import ConfigurationError
+
+
+def write_tree(root, files):
+    """Materialise ``{relative path: source}`` under ``root``."""
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+class TestSuppressions:
+    def test_trailing_directive_is_line_level(self):
+        suppressions = parse_suppressions(
+            "import time\n"
+            "x = time.time()  # repro-lint: disable=RL001\n"
+            "y = time.time()\n"
+        )
+        assert suppressions.is_suppressed("RL001", 2)
+        assert not suppressions.is_suppressed("RL001", 3)
+        assert not suppressions.file_level
+
+    def test_standalone_directive_is_file_wide(self):
+        suppressions = parse_suppressions(
+            "# repro-lint: disable=RL002\nimport sqlite3\n"
+        )
+        assert suppressions.is_suppressed("RL002", 1)
+        assert suppressions.is_suppressed("RL002", 99)
+
+    def test_directive_names_multiple_rules(self):
+        suppressions = parse_suppressions("# repro-lint: disable=RL001,RL004\n")
+        assert suppressions.is_suppressed("RL001", 5)
+        assert suppressions.is_suppressed("RL004", 5)
+        assert not suppressions.is_suppressed("RL002", 5)
+
+    def test_directive_inside_string_literal_is_ignored(self):
+        suppressions = parse_suppressions('x = "# repro-lint: disable=RL001"\n')
+        assert not suppressions.is_suppressed("RL001", 1)
+
+    def test_unrelated_comments_are_ignored(self):
+        suppressions = parse_suppressions("# just a comment\nx = 1  # another\n")
+        assert not suppressions.file_level
+        assert not suppressions.by_line
+
+
+class TestPathScoping:
+    def test_fragment_matches_anywhere_on_the_posix_path(self):
+        assert path_matches(Path("src/repro/schedule/greedy.py"), ("repro/schedule/",))
+        assert path_matches(
+            Path("/tmp/x/repro/schedule/mod.py"), ("repro/schedule/",)
+        )
+        assert not path_matches(Path("src/repro/analysis/report.py"), ("repro/schedule/",))
+
+
+class TestLinter:
+    def test_unparseable_file_becomes_a_parse_finding(self, tmp_path):
+        write_tree(tmp_path, {"broken.py": "def broken(:\n"})
+        report = Linter(RULES).lint_paths([tmp_path])
+        assert [f.rule_id for f in report.findings] == [PARSE_ERROR_RULE_ID]
+        assert not report.ok
+
+    def test_findings_are_deterministically_ordered(self, tmp_path):
+        write_tree(
+            tmp_path,
+            {
+                "repro/schedule/b.py": "import time\nx = time.time()\n",
+                "repro/schedule/a.py": "import time\nx = time.time()\n",
+            },
+        )
+        report = Linter(RULES).lint_paths([tmp_path])
+        paths = [finding.path.as_posix() for finding in report.findings]
+        assert paths == sorted(paths)
+        again = Linter(RULES).lint_paths([tmp_path])
+        assert report.findings == again.findings
+
+    def test_explicit_file_arguments_are_linted(self, tmp_path):
+        target = write_tree(
+            tmp_path, {"repro/schedule/mod.py": "import time\nx = time.time()\n"}
+        ) / "repro/schedule/mod.py"
+        report = Linter(RULES).lint_paths([target])
+        assert [f.rule_id for f in report.findings] == ["RL001"]
+
+    def test_clean_tree_reports_ok(self, tmp_path):
+        write_tree(tmp_path, {"repro/schedule/mod.py": "x = sorted([3, 1, 2])\n"})
+        report = Linter(RULES).lint_paths([tmp_path])
+        assert report.ok
+        assert "clean" in report.format_text()
+
+
+class TestReportRendering:
+    def finding(self):
+        return Finding(
+            rule_id="RL001",
+            path=Path("src/mod.py"),
+            line=3,
+            column=7,
+            severity="error",
+            message="nondeterministic call",
+            hint="seed it",
+        )
+
+    def test_text_line_carries_location_rule_and_hint(self):
+        text = self.finding().format_text()
+        assert text == "src/mod.py:3:7: [RL001] nondeterministic call"
+
+    def test_json_payload_is_serialisable_and_complete(self, tmp_path):
+        write_tree(tmp_path, {"repro/schedule/mod.py": "import time\nx = time.time()\n"})
+        report = Linter(RULES).lint_paths([tmp_path])
+        payload = json.loads(json.dumps(report.to_json()))
+        assert payload["tool"] == "repro-lint"
+        assert payload["files_checked"] == 1
+        assert payload["summary"]["findings"] == len(payload["findings"]) == 1
+        assert [rule["id"] for rule in payload["rules"]] == [r.rule_id for r in RULES]
+        assert payload["findings"][0]["rule"] == "RL001"
+        assert payload["findings"][0]["hint"]
+
+
+class TestRuleRegistry:
+    def test_at_least_six_rules_with_unique_ordered_ids(self):
+        ids = [rule.rule_id for rule in RULES]
+        assert len(ids) >= 6
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+    def test_every_rule_documents_itself(self):
+        for rule in RULES:
+            assert rule.title
+            assert rule.rationale
+            assert rule.fix_hint
+            assert rule.severity in {"error", "warning"}
+
+    def test_get_rules_filters_and_rejects_unknown_ids(self):
+        (only,) = get_rules(["RL003"])
+        assert only.rule_id == "RL003"
+        with pytest.raises(ConfigurationError, match="RL999"):
+            get_rules(["RL999"])

@@ -1,16 +1,20 @@
-"""Pins ``docs/api.md`` to the server's route table, so neither can drift."""
+"""Pins ``docs/api.md`` to the server's route table, so neither can drift.
 
-import re
+The route-heading equality itself now lives in lint rule RL005
+(:mod:`repro.devtools.rules`), which CI runs over ``src/``; the test here
+drives that rule directly so the pinning also fails fast under plain
+``pytest``.
+"""
+
 from pathlib import Path
 
 import pytest
 
+from repro.devtools import Linter, get_rules
 from repro.serve.http import ROUTES
 
 DOCS = Path(__file__).resolve().parents[2] / "docs"
-
-#: A documented route is a heading like ``### `GET /healthz` ``.
-ROUTE_HEADING = re.compile(r"^### `(GET|POST|PUT|PATCH|DELETE) (/[^`]*)`", re.MULTILINE)
+HTTP_MODULE = Path(__file__).resolve().parents[2] / "src" / "repro" / "serve" / "http.py"
 
 
 @pytest.fixture(scope="module")
@@ -19,13 +23,12 @@ def api_doc():
 
 
 class TestApiDocSync:
-    def test_documented_routes_equal_the_route_table(self, api_doc):
-        documented = ROUTE_HEADING.findall(api_doc)
-        implemented = [(route.method, route.pattern) for route in ROUTES]
-        assert documented == implemented, (
-            "docs/api.md route headings and repro.serve.http.ROUTES diverge; "
-            "document every route as a '### `METHOD /path`' heading, in "
-            "route-table order"
+    def test_documented_routes_equal_the_route_table(self):
+        report = Linter(get_rules(["RL005"])).lint_paths([HTTP_MODULE])
+        assert report.ok, (
+            "docs/api.md route headings and repro.serve.http.ROUTES diverge "
+            "(lint rule RL005): "
+            + "; ".join(finding.message for finding in report.findings)
         )
 
     def test_error_statuses_are_documented(self, api_doc):

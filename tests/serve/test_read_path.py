@@ -1,0 +1,88 @@
+"""Tests of the serve read path: read-only reader connections, store
+creation through the job queue, and data-version-keyed cache invalidation."""
+
+import pytest
+
+from repro.errors import ResultStoreError
+from repro.runner.db import SweepDatabase
+from repro.runner.spec import SweepSpec
+from repro.serve.jobs import SweepJobQueue
+from repro.serve.service import PlanningService
+
+
+@pytest.fixture
+def service(tmp_path):
+    service = PlanningService(tmp_path / "serve.db", cache_ttl=60.0, characterize=False)
+    yield service
+    service.close()
+
+
+def external_write(store_path):
+    """Write one run into the store from outside the service (a second
+    process in real life — e.g. ``repro sweep --store`` or a merge)."""
+    spec = SweepSpec(
+        name="external-grid",
+        systems=("d695_plasma",),
+        processor_counts=(0,),
+        power_limits={"no power limit": None},
+    )
+    record = {
+        "index": 0,
+        "system": "d695_plasma",
+        "scheduler": "greedy",
+        "power_label": "no power limit",
+        "reused_processors": 0,
+        "makespan": 123,
+    }
+    with SweepDatabase(store_path) as db:
+        spec_key = db.ensure_sweep(spec)
+        db.record_run(spec_key, [record], executed=1, skipped=0)
+
+
+class TestReaderConnections:
+    def test_service_reader_is_read_only(self, service):
+        with service._reader() as reader:
+            assert reader.read_only
+
+    def test_request_paths_cannot_write_through_the_reader(self, service):
+        spec = SweepSpec(
+            name="x",
+            systems=("d695_plasma",),
+            processor_counts=(0,),
+            power_limits={"no power limit": None},
+        )
+        with service._reader() as reader:
+            with pytest.raises(ResultStoreError, match="read-only"):
+                reader.ensure_sweep(spec)
+
+    def test_job_queue_creates_the_store_before_any_reader(self, tmp_path):
+        store_path = tmp_path / "queue.db"
+        queue = SweepJobQueue(store_path)
+        try:
+            assert store_path.exists()
+            with SweepDatabase.open_reader(store_path) as reader:
+                assert reader.data_version() == (0, 0)
+        finally:
+            queue.close()
+
+
+class TestCacheInvalidation:
+    def test_second_read_is_served_from_cache(self, service):
+        assert service.win_rates()["cached"] is False
+        assert service.win_rates()["cached"] is True
+
+    def test_external_write_invalidates_via_the_data_version(self, service):
+        first = service.win_rates()
+        assert first["cached"] is False
+        assert service.win_rates()["cached"] is True
+
+        external_write(service.store_path)
+
+        refreshed = service.win_rates()
+        assert refreshed["cached"] is False
+        assert refreshed["store_version"] != first["store_version"]
+        with SweepDatabase.open_reader(service.store_path) as reader:
+            records, runs = reader.data_version()
+        assert refreshed["store_version"] == {"records": records, "runs": runs}
+        # The new version becomes the cache key in turn.
+        assert service.win_rates()["cached"] is True

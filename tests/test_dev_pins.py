@@ -1,0 +1,52 @@
+"""Pins ``requirements-dev.txt`` to the pyproject dev extra, exactly.
+
+CI installs from ``requirements-dev.txt`` (and caches pip against it) while
+``pip install -e .[dev]`` installs from ``pyproject.toml``; a drift between
+the two silently gives CI and local checkouts different tool versions.
+Every entry must also be an exact ``==`` pin so the lint/format/coverage
+legs are reproducible.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+PIN = re.compile(r"^[A-Za-z0-9._-]+==[A-Za-z0-9.]+$")
+
+
+def requirements_entries():
+    lines = (REPO_ROOT / "requirements-dev.txt").read_text(encoding="utf-8").splitlines()
+    return [line.strip() for line in lines if line.strip() and not line.startswith("#")]
+
+
+def pyproject_dev_entries():
+    tomllib = pytest.importorskip("tomllib", reason="tomllib needs Python >= 3.11")
+    payload = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8"))
+    return payload["project"]["optional-dependencies"]["dev"]
+
+
+class TestDevPins:
+    def test_requirements_match_the_pyproject_dev_extra(self):
+        assert requirements_entries() == pyproject_dev_entries()
+
+    def test_every_entry_is_an_exact_pin(self):
+        for entry in requirements_entries():
+            assert PIN.match(entry), f"{entry!r} is not an exact '==' pin"
+
+    def test_locally_verifiable_pins_match_the_installed_versions(self):
+        """The pins we can check in this environment must not lie."""
+        from importlib import metadata
+
+        for entry in requirements_entries():
+            name, _, version = entry.partition("==")
+            try:
+                installed = metadata.version(name)
+            except metadata.PackageNotFoundError:
+                continue  # CI-only tool (e.g. ruff) not present locally
+            assert installed == version, (
+                f"{name} is pinned to {version} but {installed} is installed; "
+                "update the pin in requirements-dev.txt AND pyproject.toml"
+            )
