@@ -6,11 +6,16 @@ A typed :class:`ServeClient` (``urllib.request``, no dependencies) plus a
 
 1. ``GET /healthz`` — confirm liveness and note the store version;
 2. ``POST /plan`` — plan one system synchronously, with and without a
-   power limit;
+   power limit, then plan the same points again as one batch request and
+   check the batch answers match point for point;
 3. ``POST /sweeps`` — enqueue a small two-scheduler grid and poll
    ``GET /sweeps/<id>`` until the job reaches a terminal state;
 4. ``GET /history/win-rates`` and ``GET /history/trajectory`` — read the
    store's SQL aggregations back over HTTP.
+
+Against a daemon started with ``--auth-token`` pass ``--token`` (or set
+``REPRO_SERVE_TOKEN``); the client sends it as a bearer credential and
+retries 503 answers honouring ``Retry-After`` (see ``docs/operations.md``).
 
 With ``--expect-store DB`` (pointing at the daemon's sqlite store) the
 history responses are additionally cross-checked row for row against the
@@ -29,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 import urllib.error
@@ -52,14 +58,30 @@ class ServeClient:
     decoded JSON response and raises :class:`ServeError` for non-2xx
     answers.
 
+    A configured bearer ``token`` is sent on every request, and a 503
+    answer (full job queue, daemon shutting down) is retried up to
+    ``retries`` times honouring the daemon's ``Retry-After`` header.
+
     Args:
         base_url: daemon address, e.g. ``http://127.0.0.1:8787``.
+        token: bearer token for a daemon started with ``--auth-token``
+            (``None`` = send no credentials).
         timeout: socket timeout per request, in seconds.
+        retries: most 503 answers retried per request before giving up.
     """
 
-    def __init__(self, base_url: str, *, timeout: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        *,
+        token: str | None = None,
+        timeout: float = 30.0,
+        retries: int = 3,
+    ):
         self.base_url = base_url.rstrip("/")
+        self.token = token
         self.timeout = timeout
+        self.retries = retries
 
     # -- one method per route ------------------------------------------
     def health(self) -> dict:
@@ -69,6 +91,10 @@ class ServeClient:
     def plan(self, payload: Mapping) -> dict:
         """``POST /plan`` — synchronous planning of one system."""
         return self._request("POST", "/plan", body=payload)
+
+    def plan_batch(self, points: Sequence[Mapping]) -> dict:
+        """``POST /plan`` with ``{"points": [...]}`` — one plan per point."""
+        return self._request("POST", "/plan", body={"points": [dict(p) for p in points]})
 
     def submit_sweep(
         self,
@@ -123,25 +149,47 @@ class ServeClient:
     def _request(
         self, method: str, path: str, *, body: Mapping | None = None, query: str | None = None
     ) -> dict:
-        """One JSON round-trip; ``query`` is an optional ``system`` filter."""
+        """One JSON exchange with 503 retries; ``query`` filters by system.
+
+        A 503 carries ``Retry-After`` when the daemon sheds load (full job
+        queue); the client sleeps that long (1s when absent) and retries,
+        up to ``self.retries`` times.  Other errors raise immediately.
+        """
         url = self.base_url + path
         if query is not None:
             url += f"?system={query}"
         data = None
         headers = {"Accept": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        request = urllib.request.Request(url, data=data, headers=headers, method=method)
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                return json.loads(response.read().decode("utf-8"))
-        except urllib.error.HTTPError as error:
+        attempts = 0
+        while True:
+            request = urllib.request.Request(url, data=data, headers=headers, method=method)
             try:
-                payload = json.loads(error.read().decode("utf-8"))
-            except (ValueError, UnicodeDecodeError):
-                payload = {"error": f"undecodable {error.code} response"}
-            raise ServeError(error.code, payload) from error
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    return json.loads(response.read().decode("utf-8"))
+            except urllib.error.HTTPError as error:
+                try:
+                    payload = json.loads(error.read().decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    payload = {"error": f"undecodable {error.code} response"}
+                if error.code == 503 and attempts < self.retries:
+                    attempts += 1
+                    try:
+                        delay = float(error.headers.get("Retry-After", "1"))
+                    except (TypeError, ValueError):
+                        delay = 1.0
+                    print(
+                        f"busy ({payload.get('error', 'HTTP 503')}); "
+                        f"retry {attempts}/{self.retries} in {delay:.0f}s",
+                        file=sys.stderr,
+                    )
+                    time.sleep(delay)
+                    continue
+                raise ServeError(error.code, payload) from error
 
 
 def _check(condition: bool, message: str) -> None:
@@ -205,8 +253,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=300.0,
         help="seconds to wait for the sweep job (default: 300)",
     )
+    parser.add_argument(
+        "--token",
+        default=os.environ.get("REPRO_SERVE_TOKEN") or None,
+        help="bearer token for a daemon started with --auth-token "
+        "(default: $REPRO_SERVE_TOKEN)",
+    )
     args = parser.parse_args(argv)
-    client = ServeClient(args.base_url)
+    client = ServeClient(args.base_url, token=args.token)
 
     health = client.health()
     _check(health["status"] == "ok", f"unhealthy daemon: {health}")
@@ -224,6 +278,23 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"plan {args.system}: makespan {unlimited['makespan']} unlimited, "
         f"{limited['makespan']} at 50% power "
         f"({unlimited['elapsed_ms']:.1f} ms / {limited['elapsed_ms']:.1f} ms)"
+    )
+
+    batch = client.plan_batch(
+        [
+            {"system": args.system, "reused_processors": 2},
+            {"system": args.system, "reused_processors": 2, "power_limit_fraction": 0.5},
+        ]
+    )
+    _check(batch["count"] == 2, f"batch planned {batch['count']} of 2 points")
+    _check(
+        [r["makespan"] for r in batch["results"]]
+        == [unlimited["makespan"], limited["makespan"]],
+        "batch plan makespans diverge from the single-point answers",
+    )
+    print(
+        f"batch plan: {batch['count']} points in {batch['elapsed_ms']:.1f} ms, "
+        f"makespans match the single-point plans"
     )
 
     spec = {

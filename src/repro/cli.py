@@ -676,8 +676,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         characterize=not args.no_characterize,
         packet_count=args.packets,
         cache_dir=args.cache_dir,
+        auth_token=args.auth_token,
+        max_queue=args.max_queue,
+        max_body_bytes=args.max_body_bytes,
     )
-    print(f"serving {args.store} on {server.url} (Ctrl-C to stop)", flush=True)
+    auth = "token auth" if args.auth_token else "open access"
+    print(
+        f"serving {args.store} on {server.url} ({auth}; Ctrl-C to stop)",
+        flush=True,
+    )
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -1070,6 +1077,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir",
         default=None,
         help="directory for persisted NoC-characterisation records",
+    )
+    serve.add_argument(
+        "--auth-token",
+        default=os.environ.get("REPRO_SERVE_TOKEN") or None,
+        metavar="TOKEN",
+        help="bearer token every request except GET /healthz must present "
+        "(default: $REPRO_SERVE_TOKEN; unset = open access)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        metavar="N",
+        help="sweep jobs allowed to wait in the queue before submissions "
+        "are answered 503 + Retry-After (default: 16; 0 = unbounded)",
+    )
+    serve.add_argument(
+        "--max-body-bytes",
+        type=int,
+        default=1_000_000,
+        metavar="BYTES",
+        help="largest accepted request body; larger ones are answered 413 "
+        "(default: 1000000)",
     )
     serve.set_defaults(handler=_cmd_serve)
 

@@ -26,7 +26,7 @@ from .framework import (
 #: ``ApiError`` statuses the serve API is allowed to answer with.  ``500``
 #: is reserved for the handler backstop, not for explicit raises, but an
 #: explicit raise of it is still a *known* status.
-KNOWN_API_STATUSES = frozenset({400, 404, 405, 409, 411, 413, 429, 500, 503})
+KNOWN_API_STATUSES = frozenset({400, 401, 404, 405, 409, 411, 413, 429, 500, 503})
 
 #: A documented route is a heading like ``### `GET /healthz` `` (the same
 #: shape ``docs/api.md`` has used since the serve PR introduced it).

@@ -80,9 +80,20 @@ class ApiError(ReproError):
     Carries the HTTP status code the daemon should answer with, so the
     service layer (:mod:`repro.serve.service`) can signal *what kind* of
     failure occurred — unknown resource (404), invalid payload (400),
-    shutting down (503) — without the HTTP handlers interpreting messages.
+    missing or wrong credentials (401), a full job queue or shutdown
+    (503) — without the HTTP handlers interpreting messages.  ``headers``
+    carries response headers the status semantically requires, e.g.
+    ``Retry-After`` on a 503 or ``WWW-Authenticate`` on a 401; the HTTP
+    layer forwards them verbatim.
     """
 
-    def __init__(self, message: str, *, status: int = 400):
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: int = 400,
+        headers: dict[str, str] | None = None,
+    ):
         self.status = status
+        self.headers = dict(headers) if headers else {}
         super().__init__(message)

@@ -21,7 +21,9 @@ remapped onto this store's sequence), so orchestrated runs keep their
 per-shard history trajectories — the default for
 :meth:`repro.runner.engine.SweepRunner.orchestrate`.
 
-Layout (``schema v2``; v1 is the JSON document format):
+Layout (``schema v3``; v1 is the JSON document format, v2 lacked the
+``jobs`` table — a v2 store migrates in place the first time a writer opens
+it):
 
 ``sweeps``
     One row per distinct grid, keyed by the spec's content hash
@@ -37,6 +39,16 @@ Layout (``schema v2``; v1 is the JSON document format):
 ``runs``
     One row per store-backed runner invocation (or JSON import) with its
     executed/skipped point counters — the time axis of the history queries.
+``jobs``
+    One row per sweep job the serve daemon accepted (new in v3): the full
+    job snapshot plus the submitted spec, upserted on every state change by
+    :mod:`repro.serve.jobs`, so ``GET /sweeps/<id>`` survives a daemon
+    restart and jobs that were queued or running when the daemon died are
+    marked ``interrupted`` on the next boot
+    (:meth:`SweepDatabase.mark_interrupted_jobs`).  Job rows are control
+    metadata, not results: they stay out of :meth:`data_version` (so the
+    history read cache ignores job churn), out of :meth:`export_document`,
+    and out of merges.
 
 Durability: the connection runs with WAL journaling and
 ``synchronous=NORMAL``; every mutation happens inside a transaction, so a
@@ -59,8 +71,12 @@ from repro.errors import ResultStoreError
 from repro.runner.spec import SweepSpec
 from repro.runner.store import StoredSweep, load_sweeps, save_stored_sweeps
 
-#: Version of the sqlite store layout (v1 is the JSON document format).
-DB_SCHEMA_VERSION = 2
+#: Version of the sqlite store layout (v1 is the JSON document format,
+#: v2 predates the ``jobs`` table; v2 stores migrate in place on open).
+DB_SCHEMA_VERSION = 3
+
+#: Schema versions a writer upgrades in place (see ``_MIGRATIONS``).
+MIGRATABLE_VERSIONS = frozenset({2})
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -94,7 +110,51 @@ CREATE TABLE IF NOT EXISTS records (
 );
 CREATE INDEX IF NOT EXISTS idx_records_system_scheduler
     ON records(system, scheduler);
+CREATE TABLE IF NOT EXISTS jobs (
+    job_id          TEXT PRIMARY KEY,
+    job_number      INTEGER NOT NULL,
+    spec_key        TEXT NOT NULL,
+    spec_name       TEXT NOT NULL,
+    spec_json       TEXT NOT NULL,
+    point_count     INTEGER NOT NULL,
+    backend         TEXT NOT NULL,
+    pool_jobs       INTEGER NOT NULL,
+    resume          INTEGER NOT NULL,
+    status          TEXT NOT NULL,
+    submitted_at    TEXT NOT NULL,
+    started_at      TEXT,
+    finished_at     TEXT,
+    error           TEXT,
+    run_id          INTEGER,
+    executed_points INTEGER,
+    skipped_points  INTEGER
+);
 """
+
+#: Jobs that never reached a terminal state; a booting daemon marks them
+#: ``interrupted`` (see :meth:`SweepDatabase.mark_interrupted_jobs`).
+_LIVE_JOB_STATES = ("queued", "running")
+
+#: Columns of the ``jobs`` table, in schema order (the upsert contract).
+_JOB_COLUMNS = (
+    "job_id",
+    "job_number",
+    "spec_key",
+    "spec_name",
+    "spec_json",
+    "point_count",
+    "backend",
+    "pool_jobs",
+    "resume",
+    "status",
+    "submitted_at",
+    "started_at",
+    "finished_at",
+    "error",
+    "run_id",
+    "executed_points",
+    "skipped_points",
+)
 
 
 @dataclass(frozen=True)
@@ -198,6 +258,10 @@ class SweepDatabase:
             if not read_only:
                 self._connection.execute("PRAGMA journal_mode=WAL")
                 self._connection.execute("PRAGMA synchronous=NORMAL")
+                # Writers queue on the file lock instead of failing fast:
+                # the serve daemon's tiny job-state upserts may overlap a
+                # run commit from the job worker thread.
+                self._connection.execute("PRAGMA busy_timeout=30000")
             self._connection.execute("PRAGMA foreign_keys=ON")
             self._init_schema()
         except sqlite3.DatabaseError as exc:
@@ -256,32 +320,67 @@ class SweepDatabase:
 
     def _init_schema(self) -> None:
         if self._read_only:
-            # Readers validate, never create: the writer owns the schema.
+            # Readers validate, never create or migrate: the writer owns
+            # the schema.
             row = self._connection.execute(
                 "SELECT value FROM meta WHERE key = 'schema_version'"
             ).fetchone()
             if row is None or row["value"] != str(DB_SCHEMA_VERSION):
                 found = "no version marker" if row is None else f"version {row['value']}"
+                hint = ""
+                if row is not None and row["value"] in {
+                    str(v) for v in MIGRATABLE_VERSIONS
+                }:
+                    hint = (
+                        "; open the store writable once (e.g. repro history, or "
+                        "start the serve daemon on it) to migrate it in place"
+                    )
                 raise ResultStoreError(
                     f"sqlite store {self._path} has {found}; "
-                    f"this reader supports version {DB_SCHEMA_VERSION}"
+                    f"this reader supports version {DB_SCHEMA_VERSION}{hint}"
                 )
             return
         with self._connection:
+            found = None
+            if self._has_meta_table():
+                found = self._connection.execute(
+                    "SELECT value FROM meta WHERE key = 'schema_version'"
+                ).fetchone()
+            # The base schema is additive-safe (CREATE ... IF NOT EXISTS),
+            # so creating a fresh store and upgrading a migratable one are
+            # the same script; only the version bookkeeping differs.
             self._connection.executescript(_SCHEMA)
-            row = self._connection.execute(
-                "SELECT value FROM meta WHERE key = 'schema_version'"
-            ).fetchone()
-            if row is None:
+            if found is None:
                 self._connection.execute(
                     "INSERT INTO meta (key, value) VALUES ('schema_version', ?)",
                     (str(DB_SCHEMA_VERSION),),
                 )
-            elif row["value"] != str(DB_SCHEMA_VERSION):
-                raise ResultStoreError(
-                    f"sqlite store {self._path} has schema version {row['value']}; "
-                    f"this reader supports version {DB_SCHEMA_VERSION}"
+            elif found["value"] in {str(v) for v in MIGRATABLE_VERSIONS}:
+                # v2 -> v3: the jobs table the script just created is the
+                # whole upgrade; record both the new version and where the
+                # store came from, so migrations stay auditable.
+                self._connection.execute(
+                    "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+                    (str(DB_SCHEMA_VERSION),),
                 )
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO meta (key, value) "
+                    "VALUES ('migrated_from', ?)",
+                    (found["value"],),
+                )
+            elif found["value"] != str(DB_SCHEMA_VERSION):
+                raise ResultStoreError(
+                    f"sqlite store {self._path} has schema version "
+                    f"{found['value']}; this reader supports version "
+                    f"{DB_SCHEMA_VERSION}"
+                )
+
+    def _has_meta_table(self) -> bool:
+        """Whether the file already carries the store's ``meta`` table."""
+        row = self._connection.execute(
+            "SELECT 1 FROM sqlite_master WHERE type = 'table' AND name = 'meta'"
+        ).fetchone()
+        return row is not None
 
     # ------------------------------------------------------------------
     # Sweeps and records.
@@ -439,6 +538,104 @@ class SweepDatabase:
             "(SELECT COALESCE(MAX(rowid), 0) FROM runs) AS runs_version"
         ).fetchone()
         return (int(row["records_version"]), int(row["runs_version"]))
+
+    # ------------------------------------------------------------------
+    # Serve jobs (schema v3).
+    # ------------------------------------------------------------------
+    def upsert_job(self, snapshot: Mapping, *, spec_json: str) -> None:
+        """Persist one sweep-job snapshot (insert or replace), atomically.
+
+        ``snapshot`` is the JSON-ready dict :meth:`SweepJob.snapshot
+        <repro.serve.jobs.SweepJob.snapshot>` produces, plus a
+        ``job_number`` field (the daemon-local counter value, so a
+        restarted daemon can continue the sequence without colliding with
+        persisted ids).  The submitted spec rides along as canonical JSON
+        so an operator can re-run an interrupted job from the store alone.
+
+        Job rows are control metadata: they do not advance
+        :meth:`data_version`, are never exported, and never merge.
+        """
+        self._require_writable("persist a job")
+        row = {
+            "job_id": str(snapshot["job_id"]),
+            "job_number": int(snapshot["job_number"]),
+            "spec_key": str(snapshot["spec_key"]),
+            "spec_name": str(snapshot["spec_name"]),
+            "spec_json": spec_json,
+            "point_count": int(snapshot["point_count"]),
+            "backend": str(snapshot["backend"]),
+            "pool_jobs": int(snapshot.get("pool_jobs", 1)),
+            "resume": int(bool(snapshot["resume"])),
+            "status": str(snapshot["status"]),
+            "submitted_at": str(snapshot["submitted_at"]),
+            "started_at": snapshot.get("started_at"),
+            "finished_at": snapshot.get("finished_at"),
+            "error": snapshot.get("error"),
+            "run_id": snapshot.get("run_id"),
+            "executed_points": snapshot.get("executed_points"),
+            "skipped_points": snapshot.get("skipped_points"),
+        }
+        with self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO jobs ("
+                + ", ".join(_JOB_COLUMNS)
+                + ") VALUES ("
+                + ", ".join(f":{column}" for column in _JOB_COLUMNS)
+                + ")",
+                row,
+            )
+
+    def job_row(self, job_id: str) -> dict | None:
+        """One persisted job row as a plain dict, or ``None`` if unknown."""
+        row = self._connection.execute(
+            "SELECT * FROM jobs WHERE job_id = ?", (job_id,)
+        ).fetchone()
+        return self._job_row_to_dict(row) if row is not None else None
+
+    def job_rows(self) -> list[dict]:
+        """Every persisted job row, in submission (job-number) order."""
+        rows = self._connection.execute("SELECT * FROM jobs ORDER BY job_number")
+        return [self._job_row_to_dict(row) for row in rows]
+
+    def max_job_number(self) -> int:
+        """Highest persisted job number (0 for a store without jobs)."""
+        row = self._connection.execute(
+            "SELECT COALESCE(MAX(job_number), 0) AS n FROM jobs"
+        ).fetchone()
+        return int(row["n"])
+
+    def mark_interrupted_jobs(self, *, finished_at: str) -> list[str]:
+        """Mark every queued/running job ``interrupted``; returns their ids.
+
+        A job can only be queued or running while a daemon is executing it;
+        finding one on boot means the previous daemon died mid-job.  The
+        executed points it committed are durable in ``records``/``runs`` —
+        only the job's completion is unknown, which is exactly what the
+        ``interrupted`` state says (re-submit with ``resume`` to finish).
+        """
+        self._require_writable("mark interrupted jobs")
+        placeholders = ", ".join("?" for _ in _LIVE_JOB_STATES)
+        with self._connection:
+            rows = self._connection.execute(
+                f"SELECT job_id FROM jobs WHERE status IN ({placeholders}) "
+                "ORDER BY job_number",
+                _LIVE_JOB_STATES,
+            ).fetchall()
+            interrupted = [row["job_id"] for row in rows]
+            self._connection.execute(
+                f"UPDATE jobs SET status = 'interrupted', finished_at = ?, "
+                f"error = 'daemon stopped while the job was ' || status "
+                f"WHERE status IN ({placeholders})",
+                (finished_at, *_LIVE_JOB_STATES),
+            )
+        return interrupted
+
+    @staticmethod
+    def _job_row_to_dict(row: sqlite3.Row) -> dict:
+        """One ``jobs`` row as the snapshot dict the serve layer exchanges."""
+        job = {column: row[column] for column in _JOB_COLUMNS}
+        job["resume"] = bool(job["resume"])
+        return job
 
     def _load_spec(self, spec_key: str) -> SweepSpec:
         """Load one sweep's spec, verifying it still hashes to its key.

@@ -16,6 +16,7 @@ queue's single writer thread.
 
 from __future__ import annotations
 
+import hmac
 import json
 import logging
 from dataclasses import dataclass
@@ -32,8 +33,13 @@ logger = logging.getLogger("repro.serve")
 #: JSON media type every response is served with.
 JSON_CONTENT_TYPE = "application/json; charset=utf-8"
 
-#: Request bodies above this size are rejected outright (413).
+#: Default cap on request body size; bodies above it are rejected with 413.
+#: Per-daemon override via ``create_server(max_body_bytes=...)``.
 MAX_BODY_BYTES = 1_000_000
+
+#: Paths served without authentication even when a token is configured.
+#: Health probes (load balancers, orchestrators) must not need credentials.
+AUTH_EXEMPT: frozenset[str] = frozenset({"/healthz"})
 
 
 @dataclass(frozen=True)
@@ -140,11 +146,12 @@ class PlanningRequestHandler(BaseHTTPRequestHandler):
     """Parses one HTTP request, dispatches via :data:`ROUTES`, serializes JSON.
 
     Error mapping: :class:`~repro.errors.ApiError` answers with its carried
-    status, any other :class:`~repro.errors.ReproError` with 400 (the
-    request described something the library rejects), unmatched paths with
-    404, matched paths under the wrong method with 405 (plus an ``Allow``
-    header), oversized or undecodable bodies with 413/400, and anything
-    unexpected with 500.
+    status and headers, any other :class:`~repro.errors.ReproError` with 400
+    (the request described something the library rejects), unmatched paths
+    with 404, matched paths under the wrong method with 405 (plus an
+    ``Allow`` header), missing or wrong credentials with 401 (plus a
+    ``WWW-Authenticate`` challenge), oversized or undecodable bodies with
+    413/400, and anything unexpected with 500.
     """
 
     protocol_version = "HTTP/1.1"
@@ -184,6 +191,7 @@ class PlanningRequestHandler(BaseHTTPRequestHandler):
         split = urlsplit(self.path)
         path = split.path
         try:
+            self._check_auth(path)
             matched = self._match(method, path)
             if matched is None:
                 return
@@ -199,7 +207,7 @@ class PlanningRequestHandler(BaseHTTPRequestHandler):
                 self.server.service, ParsedRequest(params=params, query=query, body=body)
             )
         except ApiError as error:
-            self._send_json(error.status, {"error": str(error)})
+            self._send_json(error.status, {"error": str(error)}, headers=error.headers)
         except ReproError as error:
             self._send_json(400, {"error": str(error)})
         except Exception as error:  # pragma: no cover - defensive backstop
@@ -207,6 +215,38 @@ class PlanningRequestHandler(BaseHTTPRequestHandler):
             self._send_json(500, {"error": f"internal server error: {error}"})
         else:
             self._send_json(status, payload)
+
+    def _check_auth(self, path: str) -> None:
+        """Enforce the daemon's bearer token, if one is configured.
+
+        Every route except :data:`AUTH_EXEMPT` requires
+        ``Authorization: Bearer <token>`` matching the server's token
+        (compared in constant time).
+
+        Raises:
+            ApiError: 401 with a ``WWW-Authenticate`` challenge for a
+                missing or wrong credential.
+        """
+        token = self.server.auth_token
+        if token is None or path in AUTH_EXEMPT:
+            return
+        header = self.headers.get("Authorization", "")
+        scheme, _, presented = header.partition(" ")
+        if scheme.lower() == "bearer" and hmac.compare_digest(
+            presented.strip().encode("utf-8"), token.encode("utf-8")
+        ):
+            return
+        if (self.headers.get("Content-Length") or "0").strip() != "0":
+            # The body is never read on this path; a keep-alive client
+            # would desync parsing the unread bytes as the next request.
+            self.close_connection = True
+        raise ApiError(
+            "missing or invalid bearer token"
+            if header
+            else "authentication required: send 'Authorization: Bearer <token>'",
+            status=401,
+            headers={"WWW-Authenticate": "Bearer"},
+        )
 
     def _match(self, method: str, path: str) -> tuple[Route, dict[str, str]] | None:
         """Resolve ``(method, path)`` against :data:`ROUTES`.
@@ -257,8 +297,9 @@ class PlanningRequestHandler(BaseHTTPRequestHandler):
             length = int(length_header)
         except ValueError as exc:
             raise ApiError("invalid Content-Length header") from exc
-        if length > MAX_BODY_BYTES:
-            raise ApiError(f"request body exceeds {MAX_BODY_BYTES} bytes", status=413)
+        limit = self.server.max_body_bytes
+        if length > limit:
+            raise ApiError(f"request body exceeds {limit} bytes", status=413)
         raw = self.rfile.read(length)
         try:
             body = json.loads(raw.decode("utf-8"))
@@ -299,8 +340,21 @@ class PlanningServer(ThreadingHTTPServer):
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], service: PlanningService) -> None:
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: PlanningService,
+        *,
+        auth_token: str | None = None,
+        max_body_bytes: int = MAX_BODY_BYTES,
+    ) -> None:
+        if auth_token is not None and not auth_token:
+            raise ConfigurationError("the auth token must be non-empty")
+        if max_body_bytes < 1:
+            raise ConfigurationError("max_body_bytes must be >= 1")
         self.service = service
+        self.auth_token = auth_token
+        self.max_body_bytes = max_body_bytes
         super().__init__(address, PlanningRequestHandler)
 
     @property
@@ -324,6 +378,9 @@ def create_server(
     characterize: bool = False,
     packet_count: int = 200,
     cache_dir: str | Path | None = None,
+    auth_token: str | None = None,
+    max_queue: int = 0,
+    max_body_bytes: int = MAX_BODY_BYTES,
 ) -> PlanningServer:
     """Build a ready-to-serve daemon (bound, not yet serving).
 
@@ -339,9 +396,15 @@ def create_server(
         characterize: characterise NoCs for API-submitted sweep jobs.
         packet_count: characterisation campaign size for sweep jobs.
         cache_dir: persisted characterisation-cache directory for jobs.
+        auth_token: bearer token every non-health request must present
+            (``None`` = open access).
+        max_queue: sweep jobs allowed to wait in the queue before
+            submissions are answered 503 (0 = unbounded).
+        max_body_bytes: request bodies above this are rejected with 413.
 
     Raises:
-        ConfigurationError: for an invalid TTL.
+        ConfigurationError: for an invalid TTL, token, queue bound or
+            body limit.
         OSError: when the address cannot be bound.
     """
     if cache_ttl < 0:
@@ -352,9 +415,15 @@ def create_server(
         characterize=characterize,
         packet_count=packet_count,
         cache_dir=cache_dir,
+        max_queue=max_queue,
     )
     try:
-        return PlanningServer((host, port), service)
+        return PlanningServer(
+            (host, port),
+            service,
+            auth_token=auth_token,
+            max_body_bytes=max_body_bytes,
+        )
     except BaseException:
         service.close()
         raise

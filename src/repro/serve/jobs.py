@@ -1,14 +1,28 @@
-"""Background sweep-job execution for the daemon (the store's one writer).
+"""Background sweep-job execution for the daemon (the store's job writer).
 
 ``POST /sweeps`` must answer immediately while grids of arbitrary size
 execute; :class:`SweepJobQueue` is the seam that makes that safe on sqlite.
-One worker thread owns the store's **only writer connection** and executes
-jobs strictly in submission order through the existing execution backends
-(:data:`repro.runner.backends.BACKEND_FACTORIES`): the WAL journal then
-guarantees that every concurrent HTTP read — served from per-request reader
-connections — sees a consistent committed snapshot, never a half-written
-run.  That is the one-writer/many-readers model documented in
+One worker thread owns the store's long-lived **run writer connection** and
+executes jobs strictly in submission order through the existing execution
+backends (:data:`repro.runner.backends.BACKEND_FACTORIES`): the WAL journal
+then guarantees that every concurrent HTTP read — served from per-request
+reader connections — sees a consistent committed snapshot, never a
+half-written run.  That is the one-writer/many-readers model documented in
 ``docs/architecture.md``.
+
+Jobs are **durable** (schema v3): every state change is upserted into the
+store's ``jobs`` table, so ``GET /sweeps/<id>`` answers across daemon
+restarts, and a booting queue marks jobs the previous daemon left queued or
+running as ``interrupted`` (their committed points are durable; only the
+job's completion is unknown — re-submit with ``resume`` to finish).  The
+submission-side upsert is the one exception to the single-writer rule: it
+is a tiny serialized write through a short-lived writer connection, queued
+behind the run writer by sqlite's busy handler (see
+``docs/architecture.md``).
+
+The queue is also **bounded** (``max_queue``): once that many jobs are
+waiting, further submissions fail with a 503 carrying ``Retry-After``, so
+overload sheds load at the door instead of growing an unbounded backlog.
 
 Jobs carry no planning logic of their own: a job is a
 :class:`~repro.runner.spec.SweepSpec` plus a backend name, executed via
@@ -22,6 +36,7 @@ attributes API-submitted runs.
 from __future__ import annotations
 
 import itertools
+import json
 import queue
 import threading
 from dataclasses import dataclass, field
@@ -29,15 +44,25 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Callable
 
-from repro.errors import ApiError, ReproError
+from repro.errors import ApiError, ConfigurationError, ReproError
 from repro.runner.backends import BACKEND_FACTORIES, ShardWorkerBackend, make_backend
 from repro.runner.cache import SystemCache
 from repro.runner.db import SweepDatabase
 from repro.runner.engine import SweepRunner
 from repro.runner.spec import SweepSpec
 
-#: Every state a job moves through, in lifecycle order.
-JOB_STATES: tuple[str, ...] = ("queued", "running", "finished", "failed")
+#: Every state a job moves through, in lifecycle order.  ``interrupted`` is
+#: assigned at boot to persisted jobs a dead daemon left queued or running.
+JOB_STATES: tuple[str, ...] = (
+    "queued",
+    "running",
+    "finished",
+    "failed",
+    "interrupted",
+)
+
+#: ``Retry-After`` value (seconds) a full queue answers 503 with.
+RETRY_AFTER_SECONDS = 2
 
 
 def _utcnow() -> str:
@@ -53,7 +78,9 @@ class SweepJob:
     :meth:`SweepJobQueue.get`, which returns a locked snapshot.
 
     Attributes:
-        job_id: daemon-unique identifier (``job-<n>-<spec key prefix>``).
+        job_id: store-unique identifier (``job-<n>-<spec key prefix>``).
+        job_number: the ``<n>`` of the id — persisted so a restarted daemon
+            continues the sequence instead of re-issuing taken ids.
         spec: the submitted grid.
         spec_key: the spec's content key (how the store indexes it).
         backend: execution backend name (a :data:`BACKEND_FACTORIES` key).
@@ -68,6 +95,7 @@ class SweepJob:
     """
 
     job_id: str
+    job_number: int
     spec: SweepSpec
     spec_key: str
     backend: str
@@ -83,11 +111,18 @@ class SweepJob:
     skipped_points: int | None = None
 
     def snapshot(self) -> dict:
-        """JSON-ready view of the job (what ``GET /sweeps/<id>`` serves)."""
+        """JSON-ready view of the job (what ``GET /sweeps/<id>`` serves).
+
+        The same shape a restored job row carries (minus the persisted
+        spec JSON), so clients cannot tell a live job from one served
+        across a restart.
+        """
         return {
             "job_id": self.job_id,
+            "job_number": self.job_number,
             "status": self.status,
             "backend": self.backend,
+            "pool_jobs": self.pool_jobs,
             "resume": self.resume,
             "spec_name": self.spec.name,
             "spec_key": self.spec_key,
@@ -100,6 +135,10 @@ class SweepJob:
             "executed_points": self.executed_points,
             "skipped_points": self.skipped_points,
         }
+
+    def spec_json(self) -> str:
+        """The submitted spec as canonical JSON (what the store persists)."""
+        return json.dumps(self.spec.to_dict(), sort_keys=True, separators=(",", ":"))
 
 
 class SweepJobQueue:
@@ -119,11 +158,14 @@ class SweepJobQueue:
             synchronous ``/plan`` path); defaults to a fresh cache.
         workdir: directory for the shard-worker backend's stores and logs
             (default: ``<store>.workers`` next to the store).
+        max_queue: jobs allowed to wait in the queue; a submission beyond
+            that fails with 503 + ``Retry-After`` (0 = unbounded).
         on_finished: test/observability hook called with each job after it
             reaches a terminal state.
 
     Raises:
         ApiError: from :meth:`submit`/:meth:`get` for invalid input.
+        ConfigurationError: for a negative ``max_queue``.
     """
 
     def __init__(
@@ -135,8 +177,11 @@ class SweepJobQueue:
         cache_dir: str | Path | None = None,
         system_cache: SystemCache | None = None,
         workdir: str | Path | None = None,
+        max_queue: int = 0,
         on_finished: Callable[[SweepJob], None] | None = None,
     ) -> None:
+        if max_queue < 0:
+            raise ConfigurationError("max_queue must be >= 0 (0 = unbounded)")
         self.store_path = Path(store_path)
         self.characterize = characterize
         self.packet_count = packet_count
@@ -147,16 +192,26 @@ class SweepJobQueue:
             if workdir is not None
             else self.store_path.with_name(self.store_path.name + ".workers")
         )
+        self.max_queue = max_queue
         self._on_finished = on_finished
-        # Create (and validate) the store before the daemon opens any reader:
-        # the queue owns the store's writer role, so schema creation is its
-        # job, and readers opened later never race it.
-        with SweepDatabase(self.store_path):
-            pass
+        # Create (and validate/migrate) the store before the daemon opens
+        # any reader, recover the jobs a dead daemon left behind, and
+        # continue the persisted id sequence.  The queue owns the store's
+        # writer role, so schema creation is its job, and readers opened
+        # later never race it.
+        with SweepDatabase(self.store_path) as db:
+            self.interrupted_on_boot = tuple(
+                db.mark_interrupted_jobs(finished_at=_utcnow())
+            )
+            self._restored: dict[str, dict] = {}
+            for row in db.job_rows():
+                row.pop("spec_json", None)
+                self._restored[row["job_id"]] = row
+            next_number = db.max_job_number() + 1
         self._jobs: dict[str, SweepJob] = {}
         self._lock = threading.Lock()
         self._queue: "queue.Queue[SweepJob | None]" = queue.Queue()
-        self._counter = itertools.count(1)
+        self._counter = itertools.count(next_number)
         self._closed = False
         self._worker = threading.Thread(
             target=self._run_worker, name="repro-serve-jobs", daemon=True
@@ -182,8 +237,9 @@ class SweepJobQueue:
                 <repro.runner.engine.SweepRunner.run_stored>`).
 
         Raises:
-            ApiError: for an unknown backend name (400) or a queue that is
-                shutting down (503).
+            ApiError: for an unknown backend name (400), a full queue
+                (503 with ``Retry-After``), or a queue that is shutting
+                down (503).
         """
         if backend not in BACKEND_FACTORIES:
             known = ", ".join(sorted(BACKEND_FACTORIES))
@@ -191,9 +247,19 @@ class SweepJobQueue:
         with self._lock:
             if self._closed:
                 raise ApiError("the job queue is shutting down", status=503)
+            waiting = sum(1 for job in self._jobs.values() if job.status == "queued")
+            if self.max_queue and waiting >= self.max_queue:
+                raise ApiError(
+                    f"job queue is full ({waiting} job(s) waiting, "
+                    f"max_queue={self.max_queue}); retry later",
+                    status=503,
+                    headers={"Retry-After": str(RETRY_AFTER_SECONDS)},
+                )
             spec_key = spec.content_key()
+            number = next(self._counter)
             job = SweepJob(
-                job_id=f"job-{next(self._counter)}-{spec_key[:8]}",
+                job_id=f"job-{number}-{spec_key[:8]}",
+                job_number=number,
                 spec=spec,
                 spec_key=spec_key,
                 backend=backend,
@@ -201,25 +267,36 @@ class SweepJobQueue:
                 resume=resume,
             )
             self._jobs[job.job_id] = job
+            # Persist the queued state before acknowledging: a job the
+            # client was told about must be visible after a restart (as
+            # `interrupted` if the daemon dies before it finishes).  A
+            # short-lived writer serialized under this lock; sqlite's busy
+            # handler queues it behind the worker's run commits.
+            self._persist(job)
             self._queue.put(job)
             return job.snapshot()
 
     def get(self, job_id: str) -> dict:
-        """Snapshot of one job.
+        """Snapshot of one job, live or persisted by an earlier daemon.
 
         Raises:
             ApiError: for an unknown job id (404).
         """
         with self._lock:
             job = self._jobs.get(job_id)
-            if job is None:
-                raise ApiError(f"no sweep job {job_id!r}", status=404)
-            return job.snapshot()
+            if job is not None:
+                return job.snapshot()
+            restored = self._restored.get(job_id)
+            if restored is not None:
+                return dict(restored)
+            raise ApiError(f"no sweep job {job_id!r}", status=404)
 
     def jobs(self) -> list[dict]:
-        """Snapshots of every job, in submission order."""
+        """Snapshots of every job — restored then live — in submission order."""
         with self._lock:
-            return [job.snapshot() for job in self._jobs.values()]
+            restored = [dict(row) for row in self._restored.values()]
+            live = [job.snapshot() for job in self._jobs.values()]
+            return sorted(restored + live, key=lambda job: job["job_number"])
 
     # ------------------------------------------------------------------
     # Lifecycle.
@@ -253,11 +330,28 @@ class SweepJobQueue:
             if store is not None:
                 store.close()
 
+    def _persist(self, job: SweepJob, store: SweepDatabase | None = None) -> None:
+        """Upsert ``job``'s snapshot into the store's ``jobs`` table.
+
+        The worker thread passes its long-lived connection; the submission
+        path passes ``None`` and a short-lived writer is opened (serialized
+        under the queue lock, queued behind run commits by sqlite's busy
+        handler).
+        """
+        snapshot = job.snapshot()
+        spec_json = job.spec_json()
+        if store is not None:
+            store.upsert_job(snapshot, spec_json=spec_json)
+            return
+        with SweepDatabase(self.store_path) as db:
+            db.upsert_job(snapshot, spec_json=spec_json)
+
     def _execute(self, job: SweepJob, store: SweepDatabase) -> None:
         """Run one job against the writer connection and record its outcome."""
         with self._lock:
             job.status = "running"
             job.started_at = _utcnow()
+            self._persist(job, store)
         try:
             runner = SweepRunner(
                 backend=make_backend(job.backend, jobs=job.pool_jobs),
@@ -283,6 +377,7 @@ class SweepJobQueue:
                 job.status = "failed"
                 job.error = str(error)
                 job.finished_at = _utcnow()
+                self._persist(job, store)
         else:
             with self._lock:
                 job.status = "finished"
@@ -290,5 +385,6 @@ class SweepJobQueue:
                 job.skipped_points = skipped
                 job.run_id = run_id
                 job.finished_at = _utcnow()
+                self._persist(job, store)
         if self._on_finished is not None:
             self._on_finished(job)

@@ -47,7 +47,7 @@ from repro.serve.cache import TTLCache
 from repro.serve.jobs import SweepJobQueue
 from repro.system.presets import PAPER_SYSTEMS
 
-#: Fields :meth:`PlanningService.plan` accepts (anything else is a 400).
+#: Fields a single plan point accepts (anything else is a 400).
 PLAN_FIELDS: frozenset[str] = frozenset(
     {
         "system",
@@ -58,6 +58,11 @@ PLAN_FIELDS: frozenset[str] = frozenset(
         "include_assignments",
     }
 )
+
+#: Most plan points accepted in one batch ``POST /plan`` request.  Bounds
+#: per-request work the same way ``max_body_bytes`` bounds per-request
+#: parsing; batch clients should chunk above this.
+MAX_BATCH_POINTS = 256
 
 #: Fields :meth:`PlanningService.submit_sweep` accepts.
 SWEEP_FIELDS: frozenset[str] = frozenset({"spec", "backend", "jobs", "resume"})
@@ -77,14 +82,17 @@ class PlanningService:
     Args:
         store_path: the daemon's sqlite sweep store (created on startup if
             missing, so readers never race its schema creation).
-        cache_ttl: TTL of the history read cache in seconds (0 disables).
+        cache_ttl: TTL of the history read cache *and* the deterministic
+            plan-result cache, in seconds (0 disables both).
         characterize: characterise NoCs for API-submitted sweep jobs.
         packet_count: characterisation campaign size for sweep jobs.
         cache_dir: persisted characterisation-cache directory for jobs.
+        max_queue: sweep jobs allowed to wait in the queue before
+            submissions are answered 503 (0 = unbounded).
 
     Raises:
         ResultStoreError: when ``store_path`` exists but is not a sweep
-            store of the supported schema version.
+            store of a supported schema version.
     """
 
     def __init__(
@@ -95,17 +103,24 @@ class PlanningService:
         characterize: bool = False,
         packet_count: int = 200,
         cache_dir: str | Path | None = None,
+        max_queue: int = 0,
     ) -> None:
         self.store_path = Path(store_path)
         self.system_cache = SystemCache()
         self._system_lock = threading.Lock()
         self.read_cache = TTLCache(cache_ttl)
+        # Plans are pure functions of their request (RL001 keeps the
+        # planner deterministic), so identical points can be served from
+        # cache; the TTL only bounds staleness of nothing — it is reused
+        # here purely as a memory bound.
+        self.plan_cache = TTLCache(cache_ttl)
         self.jobs = SweepJobQueue(
             self.store_path,
             characterize=characterize,
             packet_count=packet_count,
             cache_dir=cache_dir,
             system_cache=self.system_cache,
+            max_queue=max_queue,
         )
         self._started_at = time.monotonic()
 
@@ -131,19 +146,76 @@ class PlanningService:
                 "misses": self.read_cache.stats.misses,
                 "ttl_seconds": self.read_cache.ttl_seconds,
             },
+            "plan_cache": {
+                "hits": self.plan_cache.stats.hits,
+                "misses": self.plan_cache.stats.misses,
+                "ttl_seconds": self.plan_cache.ttl_seconds,
+            },
             "jobs": len(self.jobs.jobs()),
+            "max_queue": self.jobs.max_queue,
+            "interrupted_on_boot": list(self.jobs.interrupted_on_boot),
         }
 
     # ------------------------------------------------------------------
     # Synchronous planning.
     # ------------------------------------------------------------------
     def plan(self, payload: Mapping) -> dict:
-        """Plan one system synchronously (the ``POST /plan`` handler's core).
+        """Plan synchronously (the ``POST /plan`` handler's core).
 
-        Args:
-            payload: the request object — ``system`` (required),
-                ``reused_processors``, ``power_limit_fraction``,
-                ``scheduler``, ``flit_width``, ``include_assignments``.
+        Two request shapes share the endpoint: a single plan point (the
+        :data:`PLAN_FIELDS` object) answered with one plan, and a batch —
+        ``{"points": [<point>, ...]}`` — answered with one plan per point,
+        amortising the HTTP round trip and the shared system-build cache
+        across the list.
+
+        Raises:
+            ApiError: for unknown fields, a missing/unknown system, or
+                mistyped values (all 400; batch errors name the offending
+                ``points[i]``), or a batch above :data:`MAX_BATCH_POINTS`.
+        """
+        if "points" in payload:
+            return self._plan_batch(payload)
+        return self._plan_point(self._validate_plan_point(payload))
+
+    def _plan_batch(self, payload: Mapping) -> dict:
+        """Plan a list of points in one request (``{"points": [...]}``).
+
+        The whole batch is validated before any planning work starts, so a
+        malformed point fails the request without wasting plan time.
+        """
+        unknown = set(payload) - {"points"}
+        if unknown:
+            raise ApiError(
+                "unknown batch plan field(s) "
+                + ", ".join(sorted(repr(name) for name in unknown))
+                + "; a batch request carries only 'points'"
+            )
+        points = payload["points"]
+        if not isinstance(points, list) or not points:
+            raise ApiError("field 'points' must be a non-empty list of plan objects")
+        if len(points) > MAX_BATCH_POINTS:
+            raise ApiError(
+                f"a batch plans at most {MAX_BATCH_POINTS} points; "
+                f"got {len(points)} — split the request"
+            )
+        started = time.perf_counter()
+        validated = []
+        for index, point in enumerate(points):
+            if not isinstance(point, Mapping):
+                raise ApiError(f"points[{index}] must be a plan object")
+            try:
+                validated.append(self._validate_plan_point(point))
+            except ApiError as exc:
+                raise ApiError(f"points[{index}]: {exc}", status=exc.status) from exc
+        results = [self._plan_point(fields) for fields in validated]
+        return {
+            "results": results,
+            "count": len(results),
+            "elapsed_ms": round((time.perf_counter() - started) * 1000.0, 3),
+        }
+
+    def _validate_plan_point(self, payload: Mapping) -> dict:
+        """Normalise one plan point's fields (shared by single and batch).
 
         Raises:
             ApiError: for unknown fields, a missing/unknown system, or
@@ -184,35 +256,69 @@ class PlanningService:
             scheduler_name = canonical_scheduler_name(scheduler_name)
         except ConfigurationError as exc:
             raise ApiError(str(exc)) from exc
+        return {
+            "system": system_name.lower(),
+            "reused": reused,
+            "fraction": fraction,
+            "scheduler": scheduler_name,
+            "flit_width": flit_width,
+            "include_assignments": bool(payload.get("include_assignments")),
+        }
 
+    def _plan_point(self, fields: dict) -> dict:
+        """Plan one validated point, served from the plan cache when possible.
+
+        A plan is a pure function of its request (determinism is the
+        RL001 invariant), so a cached result is exactly what replanning
+        would produce; ``cached`` tells the client which happened.
+        """
         started = time.perf_counter()
+        key = (
+            "plan",
+            fields["system"],
+            fields["reused"],
+            fields["fraction"],
+            fields["scheduler"],
+            fields["flit_width"],
+            fields["include_assignments"],
+        )
+        cached = self.plan_cache.get(key)
+        if cached is not None:
+            response = dict(cached, cached=True)
+            response["elapsed_ms"] = round((time.perf_counter() - started) * 1000.0, 3)
+            return response
         with self._system_lock:
-            system = self.system_cache.get(system_name, flit_width=flit_width)
-        planner = TestPlanner(system, scheduler=make_scheduler(scheduler_name))
+            system = self.system_cache.get(fields["system"], flit_width=fields["flit_width"])
+        planner = TestPlanner(system, scheduler=make_scheduler(fields["scheduler"]))
         try:
-            result = planner.plan(reused_processors=reused, power_limit_fraction=fraction)
+            result = planner.plan(
+                reused_processors=fields["reused"],
+                power_limit_fraction=fields["fraction"],
+            )
         except ReproError as exc:
             # An infeasible request (e.g. a power ceiling below any single
             # test) is the caller's input problem, not a server fault.
             raise ApiError(f"planning failed: {exc}") from exc
-        response = {
-            "system": system_name.lower(),
-            "scheduler": scheduler_name,
-            "reused_processors": reused,
-            "power_limit_fraction": fraction,
-            "power_label": power_series_label(fraction),
-            "flit_width": flit_width,
+        payload = {
+            "system": fields["system"],
+            "scheduler": fields["scheduler"],
+            "reused_processors": fields["reused"],
+            "power_limit_fraction": fields["fraction"],
+            "power_label": power_series_label(fields["fraction"]),
+            "flit_width": fields["flit_width"],
             "makespan": result.makespan,
             "test_count": result.test_count,
             "peak_power": round(result.peak_power(), 6),
             "average_parallelism": round(result.average_parallelism(), 6),
-            "elapsed_ms": round((time.perf_counter() - started) * 1000.0, 3),
         }
-        if payload.get("include_assignments"):
+        if fields["include_assignments"]:
             rows = schedule_to_rows(result)
             for row in rows:
                 row["power"] = round(float(row["power"]), 6)
-            response["assignments"] = rows
+            payload["assignments"] = rows
+        self.plan_cache.put(key, payload)
+        response = dict(payload, cached=False)
+        response["elapsed_ms"] = round((time.perf_counter() - started) * 1000.0, 3)
         return response
 
     # ------------------------------------------------------------------

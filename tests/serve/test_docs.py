@@ -32,8 +32,14 @@ class TestApiDocSync:
         )
 
     def test_error_statuses_are_documented(self, api_doc):
-        for status in ("400", "404", "405", "411", "413", "503"):
+        for status in ("400", "401", "404", "405", "411", "413", "503"):
             assert f"`{status}`" in api_doc, f"status {status} is undocumented"
+
+    def test_hardening_surface_is_documented(self, api_doc):
+        assert "Retry-After" in api_doc
+        assert "WWW-Authenticate" in api_doc
+        assert "interrupted" in api_doc
+        assert '"points"' in api_doc
 
     def test_cli_entry_point_is_documented(self, api_doc):
         assert "serve --store" in api_doc
@@ -43,6 +49,23 @@ class TestApiDocSync:
         assert "byte-identical" in text
         assert "one-writer" in text.lower() or "one writer" in text.lower()
         assert "data version" in text
+
+    def test_operations_handbook_covers_the_serve_flags(self):
+        """docs/operations.md documents every `serve` flag by name."""
+        text = (DOCS / "operations.md").read_text(encoding="utf-8")
+        for flag in (
+            "--store",
+            "--host",
+            "--port",
+            "--cache-ttl",
+            "--auth-token",
+            "--max-queue",
+            "--max-body-bytes",
+        ):
+            assert f"`{flag}`" in text, f"flag {flag} missing from operations.md"
+        assert "REPRO_SERVE_TOKEN" in text
+        assert "interrupted" in text
+        assert "data_version" in text or "data version" in text
 
 
 class TestRouteTableShape:

@@ -1,0 +1,242 @@
+"""Tests of the daemon's production hardening: auth, limits, batch planning."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import build_parser
+from repro.errors import ApiError, ConfigurationError
+from repro.runner.spec import SweepSpec
+from repro.serve import create_server
+from repro.serve.jobs import RETRY_AFTER_SECONDS, SweepJobQueue
+
+from .test_http import serve_client
+
+TOKEN = "open-sesame"
+
+
+@pytest.fixture(scope="module")
+def auth_daemon(tmp_path_factory):
+    """A live daemon requiring a bearer token, with a small body limit."""
+    store = tmp_path_factory.mktemp("serve-auth") / "serve.db"
+    server = create_server(
+        store,
+        port=0,
+        cache_ttl=60.0,
+        characterize=False,
+        auth_token=TOKEN,
+        max_body_bytes=4096,
+    )
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield server
+    finally:
+        server.shutdown()
+        server.close()
+        thread.join(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def client(auth_daemon):
+    return serve_client.ServeClient(auth_daemon.url, token=TOKEN)
+
+
+def raw_error(daemon, method, path, *, body=None, headers=None):
+    """One raw request (no client conveniences); returns the HTTPError."""
+    data = None if body is None else body.encode("utf-8")
+    request = urllib.request.Request(
+        daemon.url + path, data=data, headers=headers or {}, method=method
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=30)
+    return excinfo.value
+
+
+class TestAuth:
+    def test_healthz_is_exempt(self, auth_daemon):
+        with urllib.request.urlopen(auth_daemon.url + "/healthz", timeout=30) as response:
+            assert json.loads(response.read())["status"] == "ok"
+
+    def test_missing_token_is_401_with_challenge(self, auth_daemon):
+        error = raw_error(auth_daemon, "POST", "/plan", body='{"system": "d695_leon"}')
+        assert error.code == 401
+        assert error.headers["WWW-Authenticate"] == "Bearer"
+        assert "Authorization" in json.loads(error.read())["error"]
+
+    def test_wrong_token_is_401(self, auth_daemon):
+        error = raw_error(
+            auth_daemon,
+            "GET",
+            "/history/win-rates",
+            headers={"Authorization": "Bearer wrong"},
+        )
+        assert error.code == 401
+        assert "invalid bearer token" in json.loads(error.read())["error"]
+
+    def test_wrong_scheme_is_401(self, auth_daemon):
+        error = raw_error(
+            auth_daemon,
+            "GET",
+            "/history/win-rates",
+            headers={"Authorization": f"Basic {TOKEN}"},
+        )
+        assert error.code == 401
+
+    def test_correct_token_serves_every_route(self, client):
+        plan = client.plan({"system": "d695_leon", "reused_processors": 2})
+        assert plan["makespan"] > 0
+        assert client.win_rates()["rows"] == []
+
+    def test_routing_errors_still_require_auth(self, auth_daemon):
+        # 404/405 would leak the route table to unauthenticated scanners.
+        error = raw_error(auth_daemon, "GET", "/nowhere")
+        assert error.code == 401
+
+    def test_empty_token_is_rejected_at_startup(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            create_server(tmp_path / "s.db", port=0, auth_token="")
+
+
+class TestBodyLimit:
+    def test_oversized_body_is_413(self, auth_daemon):
+        big = json.dumps({"system": "d695_leon", "pad": "x" * 8192})
+        error = raw_error(
+            auth_daemon,
+            "POST",
+            "/plan",
+            body=big,
+            headers={"Authorization": f"Bearer {TOKEN}"},
+        )
+        assert error.code == 413
+        assert "4096" in json.loads(error.read())["error"]
+
+    def test_nonpositive_limit_is_rejected_at_startup(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            create_server(tmp_path / "s.db", port=0, max_body_bytes=0)
+
+
+class TestBatchPlan:
+    def test_batch_matches_single_point_answers(self, client):
+        points = [
+            {"system": "d695_leon", "reused_processors": 2},
+            {"system": "d695_leon", "reused_processors": 2, "power_limit_fraction": 0.5},
+        ]
+        singles = [client.plan(point) for point in points]
+        batch = client.plan_batch(points)
+        assert batch["count"] == 2
+        assert [r["makespan"] for r in batch["results"]] == [
+            s["makespan"] for s in singles
+        ]
+        assert [r["peak_power"] for r in batch["results"]] == [
+            s["peak_power"] for s in singles
+        ]
+
+    def test_repeated_point_is_served_from_the_plan_cache(self, client):
+        point = {"system": "d695_leon", "reused_processors": 1}
+        first = client.plan(point)
+        second = client.plan(point)
+        assert second["cached"] is True
+        assert second["makespan"] == first["makespan"]
+
+    def test_invalid_point_names_its_index(self, client):
+        with pytest.raises(serve_client.ServeError) as excinfo:
+            client.plan_batch(
+                [{"system": "d695_leon"}, {"system": "atlantis"}]
+            )
+        assert excinfo.value.status == 400
+        assert "points[1]" in str(excinfo.value)
+
+    def test_empty_batch_is_400(self, client):
+        with pytest.raises(serve_client.ServeError) as excinfo:
+            client.plan_batch([])
+        assert excinfo.value.status == 400
+
+    def test_points_next_to_plan_fields_is_400(self, client):
+        with pytest.raises(serve_client.ServeError) as excinfo:
+            client.plan({"points": [], "system": "d695_leon"})
+        assert excinfo.value.status == 400
+
+    def test_oversized_batch_is_400(self, auth_daemon):
+        # Straight at the service layer: over HTTP a huge batch would trip
+        # the (smaller) body limit first, which is the layering working.
+        from repro.serve.service import MAX_BATCH_POINTS
+
+        with pytest.raises(ApiError) as excinfo:
+            auth_daemon.service.plan(
+                {"points": [{"system": "d695_leon"}] * (MAX_BATCH_POINTS + 1)}
+            )
+        assert excinfo.value.status == 400
+        assert str(MAX_BATCH_POINTS) in str(excinfo.value)
+
+
+class TestBackpressure:
+    def test_full_queue_is_503_with_retry_after(self, tmp_path, monkeypatch):
+        release = threading.Event()
+        original = SweepJobQueue._execute
+
+        def held_execute(self, job, store):
+            # Show the job as taken (so it stops counting against the
+            # queue bound) before parking the worker.
+            with self._lock:
+                job.status = "running"
+            release.wait(60)
+            original(self, job, store)
+
+        monkeypatch.setattr(SweepJobQueue, "_execute", held_execute)
+        spec = SweepSpec(
+            name="backpressure",
+            systems=("d695_plasma",),
+            processor_counts=(0,),
+        )
+        queue = SweepJobQueue(tmp_path / "bp.db", characterize=False, max_queue=1)
+        try:
+            running = queue.submit(spec)
+            # Wait for the worker to take the first job off the queue so
+            # exactly one waiting slot is in play.
+            deadline = threading.Event()
+            for _ in range(100):
+                if queue.get(running["job_id"])["status"] == "running":
+                    break
+                deadline.wait(0.05)
+            queue.submit(spec)  # fills the single waiting slot
+            with pytest.raises(ApiError) as excinfo:
+                queue.submit(spec)
+            assert excinfo.value.status == 503
+            assert excinfo.value.headers["Retry-After"] == str(RETRY_AFTER_SECONDS)
+            assert "max_queue=1" in str(excinfo.value)
+        finally:
+            release.set()
+            queue.close()
+
+    def test_negative_max_queue_is_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            SweepJobQueue(tmp_path / "bp.db", max_queue=-1)
+
+    def test_zero_means_unbounded(self, tmp_path):
+        queue = SweepJobQueue(tmp_path / "bp.db", characterize=False, max_queue=0)
+        queue.close()
+
+
+class TestCliFlags:
+    def test_hardening_defaults(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_TOKEN", raising=False)
+        args = build_parser().parse_args(["serve", "--store", "serve.db"])
+        assert args.auth_token is None
+        assert args.max_queue == 16
+        assert args.max_body_bytes == 1_000_000
+
+    def test_token_defaults_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_TOKEN", "env-token")
+        args = build_parser().parse_args(["serve", "--store", "serve.db"])
+        assert args.auth_token == "env-token"
+
+    def test_flag_overrides_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_TOKEN", "env-token")
+        args = build_parser().parse_args(
+            ["serve", "--store", "serve.db", "--auth-token", "flag-token"]
+        )
+        assert args.auth_token == "flag-token"
