@@ -1,0 +1,154 @@
+"""Per-point planning microbenchmark and memoisation speedup gate.
+
+Measures the median and p99 wall time of planning one sweep grid point —
+the unit of work ``execute_point`` performs for every backend — on the
+paper's d695 and p93791 figure-1 grids, and writes the statistics to
+``BENCH_plan_point.json`` (uploaded by CI next to the pytest-benchmark
+artifacts).
+
+Each grid is measured twice over the *same* points: once on a reference
+system built with ``cache=False`` (routes, link reservations, jobs and
+power totals recomputed on every query — the pre-optimisation behaviour)
+and once on a normally built system with the planner memoisation enabled.
+Comparing the two in one process keeps the speedup gate independent of the
+host's absolute speed; ``BASELINE_plan_point.json`` records the absolute
+pre-optimisation numbers of the machine the optimisation was developed on.
+
+The run asserts that the memoised planner
+
+* produces the same makespan and test count for every point (the byte-level
+  determinism proof lives in ``tests/integration/test_golden_determinism.py``),
+* plans the p93791 grid at least ``SPEEDUP_GATE`` times faster at the median.
+
+``time.perf_counter`` is the only clock used, and only around the measured
+planning calls.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from pathlib import Path
+from time import perf_counter
+
+from repro.experiments.figure1 import PAPER_POWER_SERIES, PAPER_PROCESSOR_COUNTS
+from repro.runner.atomic import atomic_write_text
+from repro.runner.cache import build_point_system
+from repro.runner.spec import SweepPoint, SweepSpec, make_scheduler
+from repro.schedule.planner import TestPlanner
+from repro.system.presets import PAPER_SYSTEMS
+
+#: Full-grid repetitions per mode; every point contributes one sample per
+#: repetition.
+REPETITIONS = 15
+
+#: Grids measured: the small and the large figure-1 benchmark.
+GRID_SYSTEMS = ("d695_leon", "p93791_leon")
+
+#: Required median per-point speedup (memoised vs reference) on p93791.
+SPEEDUP_GATE = 2.0
+
+#: Where the statistics land (CI uploads ``BENCH_*.json``).
+RESULT_FILE = Path("BENCH_plan_point.json")
+
+
+def figure1_spec(system: str) -> SweepSpec:
+    """The figure-1 sweep grid of ``system`` (same as ``repro sweep``'s)."""
+    benchmark = PAPER_SYSTEMS[system].benchmark
+    return SweepSpec(
+        name=f"bench-{system}",
+        systems=(system,),
+        processor_counts=PAPER_PROCESSOR_COUNTS[benchmark],
+        power_limits=tuple(PAPER_POWER_SERIES.items()),
+        schedulers=("greedy",),
+    )
+
+
+def plan_point(point: SweepPoint, system) -> tuple[int, int]:
+    """Plan one point on a prebuilt system; returns (makespan, test count)."""
+    planner = TestPlanner(system, scheduler=make_scheduler(point.scheduler))
+    result = planner.plan(
+        reused_processors=point.reused_processors,
+        power_limit_fraction=point.power_limit_fraction,
+        label=point.label,
+    )
+    return result.makespan, result.test_count
+
+
+def measure_grid(system: str, *, cache: bool) -> dict[str, object]:
+    """Per-point timing statistics of one grid in one memoisation mode.
+
+    The reference mode rebuilds its system before every point so each
+    measured plan starts from cold per-instance state (the pre-optimisation
+    code kept no per-instance planning state at all — the build itself is
+    outside the timed region); the memoised mode builds once and keeps its
+    caches warm across points and repetitions — exactly how the sweep
+    engine uses a ``SystemCache``-shared system.
+    """
+    spec = figure1_spec(system)
+    points = spec.points()
+    built = build_point_system(system, cache=cache)
+    samples: list[float] = []
+    outcomes: list[tuple[int, int]] = []
+    for repetition in range(REPETITIONS):
+        round_outcomes = []
+        for point in points:
+            if not cache and samples:
+                built = build_point_system(system, cache=False)
+            start = perf_counter()
+            outcome = plan_point(point, built)
+            samples.append(perf_counter() - start)
+            round_outcomes.append(outcome)
+        if repetition == 0:
+            outcomes = round_outcomes
+        else:
+            assert round_outcomes == outcomes, (
+                f"{system}: repetition {repetition} diverged from the first"
+            )
+    quantiles = statistics.quantiles(samples, n=100)
+    return {
+        "points": len(points),
+        "samples": len(samples),
+        "median_ms": round(statistics.median(samples) * 1000, 4),
+        "p99_ms": round(quantiles[98] * 1000, 4),
+        "mean_ms": round(statistics.fmean(samples) * 1000, 4),
+        "outcomes": outcomes,
+    }
+
+
+def test_plan_point_speedup_and_stats():
+    """Measure both modes on both grids, gate the speedup, write the JSON."""
+    document: dict[str, object] = {
+        "description": (
+            "Per-point planning time (ms) on the figure-1 grids: 'reference' "
+            "recomputes routes/reservations/jobs per query (cache=False "
+            "systems), 'memoised' is the production configuration.  The "
+            "speedup gate compares the two in-process, so it is independent "
+            "of the host's absolute speed; see BASELINE_plan_point.json for "
+            "the recorded pre-optimisation absolutes."
+        ),
+        "repetitions": REPETITIONS,
+        "speedup_gate_p93791": SPEEDUP_GATE,
+        "grids": {},
+    }
+    speedups: dict[str, float] = {}
+    for system in GRID_SYSTEMS:
+        reference = measure_grid(system, cache=False)
+        memoised = measure_grid(system, cache=True)
+        assert reference.pop("outcomes") == memoised.pop("outcomes"), (
+            f"{system}: memoised planning changed a makespan or test count"
+        )
+        speedup = reference["median_ms"] / memoised["median_ms"]
+        speedups[system] = round(speedup, 2)
+        document["grids"][system] = {
+            "reference": reference,
+            "memoised": memoised,
+            "median_speedup": round(speedup, 2),
+        }
+    document["median_speedups"] = speedups
+    atomic_write_text(RESULT_FILE, json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {RESULT_FILE}: median speedups {speedups}")
+    assert speedups["p93791_leon"] >= SPEEDUP_GATE, (
+        f"p93791 median per-point speedup {speedups['p93791_leon']}x is below "
+        f"the {SPEEDUP_GATE}x gate; see {RESULT_FILE}"
+    )

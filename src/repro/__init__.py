@@ -26,6 +26,11 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-versus-measured record.
 """
 
+# Defined before the subpackage imports: repro.runner.cache version-stamps
+# its on-disk records and imports ``__version__`` while this module is still
+# initialising.
+__version__ = "1.1.0"
+
 from repro.errors import (
     BenchmarkFormatError,
     BenchmarkValidationError,
@@ -66,8 +71,6 @@ from repro.system import (
     SystemBuilder,
     build_paper_system,
 )
-
-__version__ = "1.1.0"
 
 __all__ = [
     # errors

@@ -43,6 +43,11 @@ Installed as ``repro-noctest`` (see ``pyproject.toml``) and runnable as
   (``--store``, ``--host``/``--port``, ``--cache-ttl``); the full wire
   format is documented in ``docs/api.md``.
 * ``export-soc DIRECTORY`` — write the embedded benchmarks as ``.soc`` files.
+* ``lint [PATH...]`` — run the repo-specific AST invariant checker
+  (rule catalogue in ``docs/devtools.md``).
+* ``profile [SYSTEM...]`` — run a sweep grid serially under cProfile and
+  print the planning hot path's top functions (``--sort``, ``--limit``,
+  ``--format text|json``, ``--out``).
 """
 
 from __future__ import annotations
@@ -70,7 +75,9 @@ from repro.experiments.figure1 import (
 )
 from repro.experiments.headline import run_headline_claims
 from repro.itc02.library import available_benchmarks, export_benchmarks, load_benchmark
+from repro.devtools.profile import PROFILE_SORT_KEYS
 from repro.noc.characterization import characterize_noc
+from repro.runner.atomic import atomic_write_text
 from repro.runner.backends import BACKEND_FACTORIES, ShardWorkerBackend, make_backend
 from repro.runner.db import SweepDatabase
 from repro.runner.engine import SweepRunner
@@ -430,8 +437,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     build_stats = runner.system_cache.stats
     char_stats = runner.characterization_cache.stats
     print(
-        f"cache: {build_stats.misses} system builds ({build_stats.hits} hits), "
-        f"{char_stats.misses} NoC characterisations ({char_stats.hits} hits) "
+        f"cache: {build_stats.misses} system builds "
+        f"({build_stats.hits} hits, {build_stats.disk_hits} from disk), "
+        f"{char_stats.misses} NoC characterisations "
+        f"({char_stats.hits} hits, {char_stats.disk_hits} from disk) "
         f"for {planned_points} grid points "
         f"on {runner.jobs} worker(s)"
     )
@@ -720,8 +729,32 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
-def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
-    """Flags describing *what* to run, shared by ``sweep`` and ``orchestrate``.
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.devtools import profile_specs
+
+    specs = _build_sweep_specs(args)
+    report = profile_specs(
+        specs,
+        characterize=not args.no_characterize,
+        packet_count=args.packets,
+        sort=args.sort,
+        limit=args.limit,
+    )
+    if args.format == "json":
+        rendered = json.dumps(report.to_dict(), indent=2, sort_keys=True)
+    else:
+        rendered = report.format_text()
+    if args.out:
+        atomic_write_text(Path(args.out), rendered + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(rendered)
+    return 0
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags describing *which grid* to run (``sweep``/``orchestrate``/
+    ``profile``).
 
     Defaults must stay in sync with the conflict table in
     :func:`_build_sweep_specs` (which rejects grid flags next to
@@ -761,6 +794,13 @@ def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
         help="run the sweep spec(s) stored in FILE (SweepSpec.to_dict JSON, "
         "one object or a list) instead of building grids from the flags",
     )
+
+
+def _add_grid_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags describing *how* to run a grid, shared by ``sweep`` and
+    ``orchestrate`` — the spec flags plus characterisation, caching and
+    sharding knobs."""
+    _add_spec_arguments(parser)
     parser.add_argument(
         "--packets",
         type=int,
@@ -1149,6 +1189,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="list the available rules and exit",
     )
     lint.set_defaults(handler=_cmd_lint)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="run a sweep grid under cProfile and report the hot functions",
+        description="Execute a (system x reuse level x power limit x "
+        "scheduler) grid serially under cProfile and print the planning hot "
+        "path's most expensive functions.  Companion of "
+        "benchmarks/bench_plan_point.py: the benchmark measures per-point "
+        "planning time, this command shows where it goes.",
+    )
+    _add_spec_arguments(profile)
+    profile.add_argument(
+        "--packets",
+        type=int,
+        default=200,
+        help="random packets for the NoC characterisation campaign",
+    )
+    profile.add_argument(
+        "--no-characterize",
+        action="store_true",
+        help="skip the per-SoC NoC characterisation step so the report "
+        "shows only the planning hot path",
+    )
+    profile.add_argument(
+        "--sort",
+        choices=sorted(PROFILE_SORT_KEYS),
+        default="cumulative",
+        help="hotspot ranking (default: cumulative)",
+    )
+    profile.add_argument(
+        "--limit",
+        type=int,
+        default=25,
+        metavar="N",
+        help="hotspots to report (default: 25)",
+    )
+    profile.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    profile.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    profile.set_defaults(handler=_cmd_profile)
 
     return parser
 

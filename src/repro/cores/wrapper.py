@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from functools import cached_property
 
 from repro.errors import ConfigurationError
 from repro.itc02.model import Module
@@ -58,21 +59,27 @@ class WrapperChain:
 
 @dataclass(frozen=True)
 class WrapperDesign:
-    """The result of wrapping one module for a given access width."""
+    """The result of wrapping one module for a given access width.
+
+    The chain-length aggregates are ``cached_property``s: the design is
+    immutable, and the scheduler reads ``scan_in_length``/``scan_out_length``
+    for every (core, interface) candidate it evaluates, so the max over the
+    chains is computed once per design instead of once per query.
+    """
 
     module_name: str
     width: int
     chains: tuple[WrapperChain, ...]
     patterns: int
 
-    @property
+    @cached_property
     def scan_in_length(self) -> int:
         """Longest wrapper scan-in chain (cycles per pattern shift-in)."""
         if not self.chains:
             return 0
         return max(chain.scan_in_length for chain in self.chains)
 
-    @property
+    @cached_property
     def scan_out_length(self) -> int:
         """Longest wrapper scan-out chain (cycles per pattern shift-out)."""
         if not self.chains:

@@ -1,6 +1,8 @@
-"""Developer tooling for the reproduction — currently the ``repro lint``
-AST-based invariant checker (see :mod:`repro.devtools.framework` for the
-rule machinery and :mod:`repro.devtools.rules` for the shipped rules)."""
+"""Developer tooling for the reproduction — the ``repro lint`` AST-based
+invariant checker (see :mod:`repro.devtools.framework` for the rule
+machinery and :mod:`repro.devtools.rules` for the shipped rules) and the
+``repro profile`` cProfile harness for the planning hot path
+(:mod:`repro.devtools.profile`)."""
 
 from .framework import (
     Finding,
@@ -13,9 +15,19 @@ from .framework import (
     Suppressions,
     parse_suppressions,
 )
+from .profile import (
+    PROFILE_SORT_KEYS,
+    HotSpot,
+    ProfileReport,
+    profile_specs,
+)
 from .rules import KNOWN_API_STATUSES, RULES, get_rules
 
 __all__ = [
+    "HotSpot",
+    "PROFILE_SORT_KEYS",
+    "ProfileReport",
+    "profile_specs",
     "Finding",
     "Linter",
     "LintReport",

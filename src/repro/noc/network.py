@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.errors import ConfigurationError
 from repro.noc.links import Link, path_resources
 from repro.noc.power import NocPowerModel
-from repro.noc.routing import XYRouting
+from repro.noc.routing import EndpointPair, XYRouting
 from repro.noc.timing import NocTimingModel
 from repro.noc.topology import GridTopology, NodeCoordinate
 
@@ -58,12 +58,21 @@ class NocConfig:
 
 
 class Network:
-    """A configured NoC: topology + routing + timing + power, ready to query."""
+    """A configured NoC: topology + routing + timing + power, ready to query.
 
-    def __init__(self, config: NocConfig):
+    Args:
+        config: the user-facing NoC configuration.
+        cache: memoise derived per-(source, destination) artefacts — routes,
+            hop counts, reservation resource lists — and let the scheduler
+            memoise test jobs against this network (default).  ``False``
+            recomputes everything per query; the equivalence tests and the
+            microbenchmark's naive baseline use it.
+    """
+
+    def __init__(self, config: NocConfig, *, cache: bool = True):
         self.config = config
         self.topology = GridTopology(config.width, config.height)
-        self.routing = XYRouting(self.topology)
+        self.routing = XYRouting(self.topology, cached=cache)
         self.timing = NocTimingModel(
             flit_width=config.flit_width,
             routing_latency=config.routing_latency,
@@ -71,6 +80,12 @@ class Network:
             header_flits=config.header_flits,
         )
         self.power = NocPowerModel(mean_packet_power=config.mean_packet_power)
+        #: Downstream layers (e.g. the scheduler's job table) key their own
+        #: memoisation on this flag, so one switch disables every cache layer.
+        self.caches_enabled = cache
+        self._reservations: dict[EndpointPair, tuple[Link, ...]] | None = (
+            {} if cache else None
+        )
 
     # ------------------------------------------------------------------
     # Topology / routing queries.
@@ -97,14 +112,25 @@ class Network:
     def reservation_resources(
         self, source: NodeCoordinate, destination: NodeCoordinate
     ) -> list[Link]:
-        """Exclusive resources a dedicated ``source``→``destination`` path claims."""
+        """Exclusive resources a dedicated ``source``→``destination`` path claims.
+
+        Each call returns a fresh list (memoised per endpoint pair when the
+        network's caches are enabled).
+        """
+        if self._reservations is not None:
+            cached = self._reservations.get((source, destination))
+            if cached is not None:
+                return list(cached)
         path = self.route(source, destination)
         include_ports = self.config.exclusive_local_ports
-        return path_resources(
+        resources = path_resources(
             path,
             include_source_port=include_ports,
             include_destination_port=include_ports,
         )
+        if self._reservations is not None:
+            self._reservations[(source, destination)] = tuple(resources)
+        return resources
 
     # ------------------------------------------------------------------
     # Derived transfer metrics.

@@ -1,7 +1,8 @@
 """Crash-safe file writes for the persistence layers.
 
 Every on-disk artefact of the runner (result documents, characterisation
-records) is written through :func:`atomic_write_text`: the payload goes to a
+records, system-build records) is written through :func:`atomic_write_text`
+or its binary twin :func:`atomic_write_bytes`: the payload goes to a
 uniquely named temporary file in the target directory and is then moved over
 the destination with :func:`os.replace`, which is atomic on POSIX and
 Windows.  A crash mid-write therefore leaves either the previous file intact
@@ -28,10 +29,26 @@ def atomic_write_text(path: str | Path, text: str, *, encoding: str = "utf-8") -
     The parent directory is created if needed.  On any failure the staged
     temporary file is removed and the destination is left untouched.
     """
+    return _atomic_write(path, text, mode="w", encoding=encoding)
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically and return the written path.
+
+    The binary twin of :func:`atomic_write_text`, used for non-text cache
+    artefacts (e.g. the pickled system-build records of
+    :class:`~repro.runner.cache.SystemCache`).
+    """
+    return _atomic_write(path, data, mode="wb", encoding=None)
+
+
+def _atomic_write(
+    path: str | Path, payload: str | bytes, *, mode: str, encoding: str | None
+) -> Path:
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     handle = tempfile.NamedTemporaryFile(
-        mode="w",
+        mode=mode,
         encoding=encoding,
         dir=target.parent,
         prefix=target.name + ".",
@@ -40,7 +57,7 @@ def atomic_write_text(path: str | Path, text: str, *, encoding: str = "utf-8") -
     )
     try:
         with handle:
-            handle.write(text)
+            handle.write(payload)
             handle.flush()
             os.fsync(handle.fileno())
         # NamedTemporaryFile creates 0600 files; give the destination the

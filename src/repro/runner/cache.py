@@ -9,26 +9,30 @@ Two expensive computations recur across the points of a sweep grid:
   packet campaign of the paper's first step; identical for every point that
   shares a NoC configuration.
 
-:class:`SystemCache` memoises built systems in-process (a
+:class:`SystemCache` memoises built systems in memory (a
 :class:`~repro.system.builder.SocSystem` is treated as read-only by the
-planner, so sharing one instance across points is safe).
-:class:`CharacterizationCache` additionally persists its results as
-schema-versioned JSON files under a cache directory, so characterisations
-survive across runs and across worker processes.  Both caches count hits and
-misses so tests (and ``repro sweep``) can observe the caching behaviour.
+planner, so sharing one instance across points is safe) and — given a cache
+directory — persists them as schema/version-enveloped pickles, so pool and
+shard workers, and the serve daemon across restarts, share build artefacts
+instead of rebuilding per process.  :class:`CharacterizationCache` persists
+its results as schema-versioned JSON files the same way.  Both caches count
+hits and misses (:class:`CacheStats`) so tests, ``repro sweep`` and the
+serve ``/healthz`` payload can observe the caching behaviour.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import pickle
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Mapping
 
+from repro import __version__
 from repro.noc.characterization import NocCharacterization, characterize_noc
 from repro.noc.network import Network
-from repro.runner.atomic import atomic_write_text
+from repro.runner.atomic import atomic_write_bytes, atomic_write_text
 from repro.processors.applications import BistApplication
 from repro.system.builder import SocSystem
 from repro.system.presets import (
@@ -40,6 +44,9 @@ from repro.system.presets import (
 #: Schema version of on-disk characterisation records.
 CHARACTERIZATION_SCHEMA_VERSION = 1
 
+#: Schema version of on-disk system-build records.
+SYSTEM_SCHEMA_VERSION = 1
+
 
 def content_key(payload: Mapping[str, object]) -> str:
     """SHA-256 of the canonical JSON encoding of ``payload``."""
@@ -49,24 +56,39 @@ def content_key(payload: Mapping[str, object]) -> str:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters of one cache."""
+    """Hit/miss counters of one cache.
+
+    ``disk_hits`` counts the subset of ``hits`` that were served from the
+    cache directory rather than process memory (0 for memory-only caches).
+    """
 
     hits: int = 0
     misses: int = 0
+    disk_hits: int = 0
 
     @property
     def lookups(self) -> int:
         """Total number of lookups."""
         return self.hits + self.misses
 
+    def as_dict(self) -> dict[str, int]:
+        """JSON-ready counters (used by ``repro sweep`` and ``/healthz``)."""
+        return {"hits": self.hits, "misses": self.misses, "disk_hits": self.disk_hits}
+
 
 def build_point_system(
-    system: str, *, flit_width: int = 32, pattern_penalty: int | None = None
+    system: str,
+    *,
+    flit_width: int = 32,
+    pattern_penalty: int | None = None,
+    cache: bool = True,
 ) -> SocSystem:
     """Build the paper system a sweep point needs (uncached).
 
     ``pattern_penalty`` overrides the processors' cycles-per-pattern figure,
-    reproducing the ablation's BIST-kernel-quality sweep.
+    reproducing the ablation's BIST-kernel-quality sweep.  ``cache=False``
+    builds the reference system whose planner paths recompute everything
+    (see :func:`repro.system.presets.build_paper_system`).
     """
     processor = None
     if pattern_penalty is not None:
@@ -74,15 +96,39 @@ def build_point_system(
         processor = processor_prototype(spec.processor_model).with_application(
             BistApplication(cycles_per_pattern=pattern_penalty)
         )
-    return build_paper_system(system, flit_width=flit_width, processor=processor)
+    return build_paper_system(
+        system, flit_width=flit_width, processor=processor, cache=cache
+    )
 
 
 class SystemCache:
-    """In-process memoisation of built paper systems."""
+    """Memory + optional on-disk cache of built paper systems.
 
-    def __init__(self) -> None:
+    Follows the :class:`CharacterizationCache` pattern: lookups go memory →
+    cache directory → build (and persist).  On-disk records are pickles of
+    the built :class:`~repro.system.builder.SocSystem` wrapped in a
+    schema/version envelope; a record written by a different library version
+    (whose classes may have changed shape) is ignored and rebuilt rather
+    than unpickled into a stale object graph.  Writes are atomic
+    (:func:`~repro.runner.atomic.atomic_write_bytes`), and a build is a pure
+    function of its key, so concurrent writers' last-writer-wins races are
+    content-identical — exactly the sharing pool workers, shard workers and
+    the serve daemon (across restarts) need.
+
+    The cache directory is trusted to the same degree as the process itself
+    (records are pickles); it is the operator-provided ``--cache-dir``, never
+    request-controlled input.
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None) -> None:
         self._systems: dict[str, SocSystem] = {}
+        self._cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.stats = CacheStats()
+
+    @property
+    def cache_dir(self) -> Path | None:
+        """Directory persisted records live in (``None`` = memory only)."""
+        return self._cache_dir
 
     @staticmethod
     def key(
@@ -101,25 +147,94 @@ class SystemCache:
     def get(
         self, system: str, *, flit_width: int = 32, pattern_penalty: int | None = None
     ) -> SocSystem:
-        """The built system for the given parameters, building it on a miss."""
+        """The built system for the given parameters, building it on a miss.
+
+        Lookup order: in-memory → cache directory → build (and persist).
+        """
         key = self.key(system, flit_width=flit_width, pattern_penalty=pattern_penalty)
         cached = self._systems.get(key)
         if cached is not None:
             self.stats.hits += 1
             return cached
+
+        loaded = self._load(key)
+        if loaded is not None:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._systems[key] = loaded
+            return loaded
+
         self.stats.misses += 1
         built = build_point_system(
             system, flit_width=flit_width, pattern_penalty=pattern_penalty
         )
         self._systems[key] = built
+        self._persist(key, built)
         return built
 
     def clear(self) -> None:
-        """Drop every cached system (counters are kept)."""
+        """Drop every in-memory cached system (counters and disk are kept)."""
         self._systems.clear()
 
     def __len__(self) -> int:
         return len(self._systems)
+
+    # ------------------------------------------------------------------
+    # Disk backing.
+    # ------------------------------------------------------------------
+    def _record_path(self, key: str) -> Path | None:
+        if self._cache_dir is None:
+            return None
+        return self._cache_dir / f"system-build-{key}.pkl"
+
+    def _load(self, key: str) -> SocSystem | None:
+        path = self._record_path(key)
+        if path is None or not path.is_file():
+            return None
+        try:
+            document = pickle.loads(path.read_bytes())
+        except (
+            OSError,
+            pickle.PickleError,
+            EOFError,
+            AttributeError,
+            ImportError,
+            IndexError,
+            TypeError,
+            ValueError,
+        ):
+            # A torn, foreign or stale record (e.g. pickled by a build whose
+            # classes have since changed shape) is a rebuild, never an error.
+            return None
+        if not isinstance(document, dict):
+            return None
+        if document.get("schema_version") != SYSTEM_SCHEMA_VERSION:
+            return None
+        if document.get("version") != __version__:
+            return None
+        if document.get("key") != key:
+            return None
+        system = document.get("system")
+        if not isinstance(system, SocSystem):
+            return None
+        return system
+
+    def _persist(self, key: str, system: SocSystem) -> None:
+        path = self._record_path(key)
+        if path is None:
+            return
+        document = {
+            "schema_version": SYSTEM_SCHEMA_VERSION,
+            "version": __version__,
+            "key": key,
+            "system": system,
+        }
+        # Staged-temp-file + os.replace, like the characterisation records: a
+        # crash mid-write cannot truncate an existing record, and concurrent
+        # sweeps sharing the cache directory each land a complete record (the
+        # build is deterministic for a given key, so last-writer-wins is
+        # content-identical).
+        atomic_write_bytes(path, pickle.dumps(document, protocol=pickle.HIGHEST_PROTOCOL))
 
 
 class CharacterizationCache:
@@ -185,6 +300,7 @@ class CharacterizationCache:
         loaded = self._load(key)
         if loaded is not None:
             self.stats.hits += 1
+            self.stats.disk_hits += 1
             self._memory[key] = loaded
             return loaded
 

@@ -153,13 +153,16 @@ class SweepRunner:
             registered backend name (see
             :data:`~repro.runner.backends.BACKEND_FACTORIES`); overrides
             the ``jobs`` shorthand.
-        cache_dir: directory for persisted characterisation records
-            (``None`` keeps the characterisation cache in memory only).
+        cache_dir: directory for persisted characterisation and system-build
+            records (``None`` keeps both caches in memory only).
         characterize: characterise each distinct NoC once and attach the
             result to the outcomes.
         packet_count: size of the characterisation packet campaign.
         system_cache: share a prebuilt :class:`SystemCache` across runners
             (defaults to a fresh cache per runner).
+        characterization_cache: share a :class:`CharacterizationCache`
+            across runners (defaults to a fresh cache per runner, persisted
+            under ``cache_dir``).
 
     Raises:
         ConfigurationError: for a negative worker count, an unknown backend
@@ -176,6 +179,7 @@ class SweepRunner:
         characterize: bool = False,
         packet_count: int = 200,
         system_cache: SystemCache | None = None,
+        characterization_cache: CharacterizationCache | None = None,
     ) -> None:
         if jobs is None or jobs == 0:
             jobs = os.cpu_count() or 1
@@ -191,8 +195,16 @@ class SweepRunner:
         self.packet_count = packet_count
         self.cache_dir = cache_dir
         # Not `system_cache or ...`: an empty SystemCache is falsy (__len__).
-        self.system_cache = system_cache if system_cache is not None else SystemCache()
-        self.characterization_cache = CharacterizationCache(cache_dir)
+        # A runner-owned cache inherits cache_dir, so builds persist next to
+        # the characterisation records; a shared cache keeps its own setting.
+        self.system_cache = (
+            system_cache if system_cache is not None else SystemCache(cache_dir)
+        )
+        self.characterization_cache = (
+            characterization_cache
+            if characterization_cache is not None
+            else CharacterizationCache(cache_dir)
+        )
 
     def _require_inline(self, method: str) -> None:
         """Fail fast when the configured backend cannot serve ``method``."""

@@ -24,7 +24,7 @@ from typing import Callable, Sequence
 from repro.cores.core import CoreUnderTest
 from repro.errors import PowerBudgetError, SchedulingError
 from repro.noc.network import Network
-from repro.schedule.job import TestJob, build_job
+from repro.schedule.job import TestJob, cached_job
 from repro.schedule.pathalloc import LinkAllocator
 from repro.schedule.power import PowerConstraint, PowerTracker
 from repro.schedule.priority import PriorityKey, distance_priority, priority_order
@@ -206,12 +206,16 @@ class EventDrivenScheduler:
         interfaces: Sequence[TestInterface],
         network: Network,
     ) -> dict[tuple[str, str], TestJob]:
+        # Jobs are memoised against the network (see cached_job): repeated
+        # plans over one built system — sweep grids vary the interface subset
+        # and the power ceiling, not the system — skip the route/wrapper
+        # arithmetic entirely after the first plan.
         jobs: dict[tuple[str, str], TestJob] = {}
         for core in cores:
             for interface in interfaces:
                 if interface.processor_core_id == core.identifier:
                     continue  # a processor cannot test itself
-                jobs[(core.identifier, interface.identifier)] = build_job(
+                jobs[(core.identifier, interface.identifier)] = cached_job(
                     core, interface, network
                 )
         return jobs

@@ -33,6 +33,7 @@ paper describes.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from weakref import WeakKeyDictionary
 
 from repro.cores.core import CoreUnderTest
 from repro.errors import SchedulingError
@@ -135,6 +136,42 @@ def build_job(core: CoreUnderTest, interface: TestInterface, network: Network) -
         patterns=core.patterns,
         cycles_per_pattern=per_pattern,
     )
+
+
+#: Per-network memoisation of built jobs, keyed by (core id, interface).
+#:
+#: A job is a pure function of (core, interface, network): the system treats
+#: its cores and network as read-only once built (the invariant the
+#: :class:`~repro.runner.cache.SystemCache` already relies on to share one
+#: instance across sweep points), interfaces are frozen dataclasses that key
+#: by value, and core identifiers are unique within a system.  Keying the
+#: table weakly on the network keeps entries alive exactly as long as the
+#: system they describe.
+_JOB_TABLES: "WeakKeyDictionary[Network, dict]" = WeakKeyDictionary()
+
+
+def cached_job(core: CoreUnderTest, interface: TestInterface, network: Network) -> TestJob:
+    """The job for (``core``, ``interface``), memoised against ``network``.
+
+    Falls back to a plain :func:`build_job` when the network's caches are
+    disabled (``Network(config, cache=False)``), so the reference path stays
+    reachable for equivalence tests and benchmarks.
+
+    Raises:
+        SchedulingError: as :func:`build_job`.
+    """
+    if not getattr(network, "caches_enabled", False):
+        return build_job(core, interface, network)
+    table = _JOB_TABLES.get(network)
+    if table is None:
+        table = {}
+        _JOB_TABLES[network] = table
+    key = (core.identifier, interface)
+    job = table.get(key)
+    if job is None:
+        job = build_job(core, interface, network)
+        table[key] = job
+    return job
 
 
 def job_fits_memory(core: CoreUnderTest, interface: TestInterface) -> bool:

@@ -21,13 +21,31 @@ from repro.noc.links import Link
 
 @dataclass
 class LinkAllocator:
-    """Busy-until bookkeeping for exclusive NoC resources."""
+    """Busy-until bookkeeping for exclusive NoC resources.
+
+    Per-candidate availability is memoised: the schedulers probe the same
+    resource tuples (one per candidate job) at every event, so the allocator
+    keeps, per probed tuple, the max busy-until it last computed.  Because
+    reservations only ever push busy-until times *forward* (resources are
+    held to the end of their job, never released early), a cached bound in
+    the future proves the tuple is still busy without rescanning it; a bound
+    at or before ``now`` is merely stale and triggers an exact rescan.  The
+    answers are therefore identical to the uncached scan.
+    """
 
     _busy_until: dict[Link, float] = field(default_factory=dict)
     _holder: dict[Link, str] = field(default_factory=dict)
+    _bounds: dict[tuple[Link, ...], float] = field(default_factory=dict, repr=False)
 
     def is_free(self, resources: Iterable[Link], now: float) -> bool:
         """True when every resource in ``resources`` is free at time ``now``."""
+        if isinstance(resources, tuple):
+            bound = self._bounds.get(resources)
+            if bound is not None and bound > now:
+                # busy-until only grows, so the true bound is >= the cached
+                # one: the tuple is definitely still busy.
+                return False
+            return self._scan(resources) <= now
         return all(self._busy_until.get(resource, 0.0) <= now for resource in resources)
 
     def earliest_free(self, resources: Iterable[Link]) -> float:
@@ -37,9 +55,22 @@ class LinkAllocator:
         re-acquired by another job first, so callers must re-check with
         :meth:`is_free` at the actual decision instant.
         """
+        if isinstance(resources, tuple):
+            return self._scan(resources)
         return max(
             (self._busy_until.get(resource, 0.0) for resource in resources), default=0.0
         )
+
+    def _scan(self, resources: tuple[Link, ...]) -> float:
+        """Exact max busy-until over ``resources``; refreshes the cached bound."""
+        busy_until = self._busy_until
+        bound = 0.0
+        for resource in resources:
+            held = busy_until.get(resource, 0.0)
+            if held > bound:
+                bound = held
+        self._bounds[resources] = bound
+        return bound
 
     def reserve(
         self, job_id: str, resources: Iterable[Link], now: float, until: float
@@ -53,6 +84,7 @@ class LinkAllocator:
         """
         if until < now:
             raise SchedulingError("reservation end must not precede its start")
+        key = resources if isinstance(resources, tuple) else None
         resources = list(resources)
         for resource in resources:
             if self._busy_until.get(resource, 0.0) > now:
@@ -64,6 +96,10 @@ class LinkAllocator:
         for resource in resources:
             self._busy_until[resource] = until
             self._holder[resource] = job_id
+        if key is not None:
+            # The reserved tuple's own bound is exactly `until` now (set only
+            # after validation: a failed reservation must not raise a bound).
+            self._bounds[key] = until
 
     def holder_of(self, resource: Link) -> str | None:
         """Identifier of the job currently holding ``resource`` (if any)."""

@@ -70,15 +70,27 @@ class PowerConstraint:
 
 @dataclass
 class PowerTracker:
-    """Tracks the power of currently running jobs against a constraint."""
+    """Tracks the power of currently running jobs against a constraint.
+
+    ``current_power`` is consulted for every candidate the scheduler
+    considers at every event, while the active set only changes when a job
+    starts or finishes — so the total is memoised and recomputed lazily.
+    The recomputation is the exact ``sum()`` over the active dict a
+    non-caching tracker would run (never an incremental add/subtract, which
+    could drift in floating point), so cached and uncached totals are
+    bit-identical.
+    """
 
     constraint: PowerConstraint
     _active: dict[str, float] = field(default_factory=dict)
+    _cached_total: float | None = field(default=0.0, repr=False)
 
     @property
     def current_power(self) -> float:
         """Sum of the power of all currently running jobs."""
-        return sum(self._active.values())
+        if self._cached_total is None:
+            self._cached_total = sum(self._active.values())
+        return self._cached_total
 
     @property
     def active_jobs(self) -> tuple[str, ...]:
@@ -113,6 +125,7 @@ class PowerTracker:
                 f"ceiling of {self.constraint.limit:.1f} pu"
             )
         self._active[job_id] = power
+        self._cached_total = None
 
     def finish(self, job_id: str) -> None:
         """Unregister a finished job."""
@@ -120,3 +133,4 @@ class PowerTracker:
             del self._active[job_id]
         except KeyError as exc:
             raise ConfigurationError(f"job {job_id!r} is not running") from exc
+        self._cached_total = None

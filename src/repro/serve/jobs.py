@@ -46,7 +46,7 @@ from typing import Callable
 
 from repro.errors import ApiError, ConfigurationError, ReproError
 from repro.runner.backends import BACKEND_FACTORIES, ShardWorkerBackend, make_backend
-from repro.runner.cache import SystemCache
+from repro.runner.cache import CharacterizationCache, SystemCache
 from repro.runner.db import SweepDatabase
 from repro.runner.engine import SweepRunner
 from repro.runner.spec import SweepSpec
@@ -156,6 +156,8 @@ class SweepJobQueue:
         cache_dir: persisted characterisation-cache directory for jobs.
         system_cache: share one build cache across jobs (and with the
             synchronous ``/plan`` path); defaults to a fresh cache.
+        characterization_cache: share one characterisation cache across
+            jobs; defaults to a fresh cache persisted under ``cache_dir``.
         workdir: directory for the shard-worker backend's stores and logs
             (default: ``<store>.workers`` next to the store).
         max_queue: jobs allowed to wait in the queue; a submission beyond
@@ -176,6 +178,7 @@ class SweepJobQueue:
         packet_count: int = 200,
         cache_dir: str | Path | None = None,
         system_cache: SystemCache | None = None,
+        characterization_cache: CharacterizationCache | None = None,
         workdir: str | Path | None = None,
         max_queue: int = 0,
         on_finished: Callable[[SweepJob], None] | None = None,
@@ -187,6 +190,11 @@ class SweepJobQueue:
         self.packet_count = packet_count
         self.cache_dir = cache_dir
         self.system_cache = system_cache if system_cache is not None else SystemCache()
+        self.characterization_cache = (
+            characterization_cache
+            if characterization_cache is not None
+            else CharacterizationCache(cache_dir)
+        )
         self.workdir = (
             Path(workdir)
             if workdir is not None
@@ -359,6 +367,7 @@ class SweepJobQueue:
                 characterize=self.characterize,
                 packet_count=self.packet_count,
                 system_cache=self.system_cache,
+                characterization_cache=self.characterization_cache,
             )
             if isinstance(runner.backend, ShardWorkerBackend):
                 report = runner.orchestrate(

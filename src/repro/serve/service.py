@@ -34,7 +34,7 @@ from typing import Mapping
 from repro import __version__
 from repro.analysis.export import schedule_to_rows
 from repro.errors import ApiError, ConfigurationError, ReproError
-from repro.runner.cache import SystemCache
+from repro.runner.cache import CharacterizationCache, SystemCache
 from repro.runner.db import SweepDatabase
 from repro.runner.spec import (
     SweepSpec,
@@ -86,7 +86,9 @@ class PlanningService:
             plan-result cache, in seconds (0 disables both).
         characterize: characterise NoCs for API-submitted sweep jobs.
         packet_count: characterisation campaign size for sweep jobs.
-        cache_dir: persisted characterisation-cache directory for jobs.
+        cache_dir: persisted cache directory (characterisation records and
+            system builds) shared by jobs and the ``/plan`` path; a restart
+            reloads system builds from it instead of rebuilding.
         max_queue: sweep jobs allowed to wait in the queue before
             submissions are answered 503 (0 = unbounded).
 
@@ -106,7 +108,10 @@ class PlanningService:
         max_queue: int = 0,
     ) -> None:
         self.store_path = Path(store_path)
-        self.system_cache = SystemCache()
+        # Disk-backed when a cache directory is configured: a restarted
+        # daemon reloads its system builds instead of re-running them.
+        self.system_cache = SystemCache(cache_dir)
+        self.characterization_cache = CharacterizationCache(cache_dir)
         self._system_lock = threading.Lock()
         self.read_cache = TTLCache(cache_ttl)
         # Plans are pure functions of their request (RL001 keeps the
@@ -120,6 +125,7 @@ class PlanningService:
             packet_count=packet_count,
             cache_dir=cache_dir,
             system_cache=self.system_cache,
+            characterization_cache=self.characterization_cache,
             max_queue=max_queue,
         )
         self._started_at = time.monotonic()
@@ -151,6 +157,8 @@ class PlanningService:
                 "misses": self.plan_cache.stats.misses,
                 "ttl_seconds": self.plan_cache.ttl_seconds,
             },
+            "system_cache": self.system_cache.stats.as_dict(),
+            "characterization_cache": self.characterization_cache.stats.as_dict(),
             "jobs": len(self.jobs.jobs()),
             "max_queue": self.jobs.max_queue,
             "interrupted_on_boot": list(self.jobs.interrupted_on_boot),

@@ -173,11 +173,14 @@ class SystemBuilder:
         )
     """
 
-    def __init__(self, name: str, noc_config: NocConfig):
+    def __init__(self, name: str, noc_config: NocConfig, *, cache: bool = True):
         if not name:
             raise ConfigurationError("system name must not be empty")
         self._name = name
-        self._network = Network(noc_config)
+        # cache=False builds a system whose network answers route/reservation
+        # queries from scratch on every call — the reference mode benchmarks
+        # and equivalence tests compare the memoised planner against.
+        self._network = Network(noc_config, cache=cache)
         self._cores: list[CoreUnderTest] = []
         self._io_ports: list[IoPort] = []
         self._characterizations: dict[str, ProcessorCharacterization] = {}

@@ -76,6 +76,12 @@ class ResourcePool:
             )
         if not self._states:
             raise ResourceError("a resource pool needs at least one interface")
+        # Registration-order tie-break map for available(); the pool's
+        # membership is fixed after construction, so it is computed once
+        # instead of per availability query.
+        self._order: dict[str, int] = {
+            identifier: index for index, identifier in enumerate(self._states)
+        }
 
     # ------------------------------------------------------------------
     # Queries.
@@ -104,7 +110,7 @@ class ResourcePool:
         (ties broken by registration order), which implements the paper's
         greedy "first test interface available" policy.
         """
-        order = {identifier: index for index, identifier in enumerate(self._states)}
+        order = self._order
         candidates = [
             state for state in self._states.values() if state.is_available(now)
         ]

@@ -77,3 +77,64 @@ class TestXYRoutingProperties:
                 moved_y = True
             if a[0] != b[0]:
                 assert not moved_y
+
+
+class TestMemoisedEqualsNaive:
+    """The route tables must be pure memoisation: every memoised answer equals
+    the naive recomputation, across mesh shapes including degenerate ones."""
+
+    MESHES = [(1, 1), (1, 6), (6, 1), (2, 2), (3, 5), (4, 4)]
+
+    @pytest.mark.parametrize(("width", "height"), MESHES)
+    def test_all_pairs_equal_naive(self, width, height):
+        memoised = XYRouting(GridTopology(width, height))
+        naive = XYRouting(GridTopology(width, height), cached=False)
+        nodes = [(x, y) for x in range(width) for y in range(height)]
+        for source in nodes:
+            for destination in nodes:
+                expected = naive.route(source, destination)
+                hops = naive.hops(source, destination)
+                visited = naive.routers_visited(source, destination)
+                # Twice: the first call fills the table, the second hits it.
+                assert memoised.route(source, destination) == expected
+                assert memoised.route(source, destination) == expected
+                assert memoised.hops(source, destination) == hops
+                assert memoised.routers_visited(source, destination) == visited
+
+    def test_same_node_pairs(self):
+        memoised = XYRouting(GridTopology(3, 3))
+        for node in [(0, 0), (1, 2), (2, 2)]:
+            assert memoised.route(node, node) == [node]
+            assert memoised.route(node, node) == [node]
+            assert memoised.hops(node, node) == 0
+            assert memoised.routers_visited(node, node) == 1
+
+    def test_hits_return_fresh_lists(self):
+        routing = XYRouting(GridTopology(4, 4))
+        first = routing.route((0, 0), (3, 3))
+        first.reverse()  # corrupting the returned list must not reach the table
+        assert routing.route((0, 0), (3, 3)) == routing.naive_route((0, 0), (3, 3))
+
+    def test_memoised_validation_matches_naive(self):
+        memoised = XYRouting(GridTopology(4, 4))
+        naive = XYRouting(GridTopology(4, 4), cached=False)
+        for routing in (memoised, naive):
+            with pytest.raises(RoutingError):
+                routing.route((0, 0), (4, 0))
+            with pytest.raises(RoutingError):
+                routing.hops((-1, 0), (0, 0))
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        width=st.integers(1, 8),
+        height=st.integers(1, 8),
+        data=st.data(),
+    )
+    def test_property_equivalence(self, width, height, data):
+        node = st.tuples(st.integers(0, width - 1), st.integers(0, height - 1))
+        source = data.draw(node)
+        destination = data.draw(node)
+        memoised = XYRouting(GridTopology(width, height))
+        naive = XYRouting(GridTopology(width, height), cached=False)
+        assert memoised.route(source, destination) == naive.route(source, destination)
+        assert memoised.hops(source, destination) == naive.hops(source, destination)

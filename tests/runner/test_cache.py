@@ -63,6 +63,95 @@ class TestSystemCache:
         assert len(cache) == 0
         assert cache.get("d695_leon") is not first
 
+    def test_stats_as_dict(self):
+        cache = SystemCache()
+        cache.get("d695_leon")
+        cache.get("d695_leon")
+        assert cache.stats.as_dict() == {"hits": 1, "misses": 1, "disk_hits": 0}
+
+
+class TestSystemCacheDisk:
+    def test_disk_persistence(self, tmp_path, monkeypatch):
+        cache = SystemCache(tmp_path)
+        built = cache.get("d695_leon")
+        assert list(tmp_path.glob("system-build-*.pkl"))
+        assert cache.stats.as_dict() == {"hits": 0, "misses": 1, "disk_hits": 0}
+
+        # A fresh cache over the same directory must load from disk without
+        # rebuilding the system.
+        def boom(*args, **kwargs):
+            raise AssertionError("build_point_system must not be called on a disk hit")
+
+        monkeypatch.setattr(cache_module, "build_paper_system", boom)
+        reloaded_cache = SystemCache(tmp_path)
+        reloaded = reloaded_cache.get("d695_leon")
+        assert reloaded_cache.stats.as_dict() == {
+            "hits": 1,
+            "misses": 0,
+            "disk_hits": 1,
+        }
+        assert reloaded.name == built.name
+        built_ids = [core.identifier for core in built.cores]
+        assert [core.identifier for core in reloaded.cores] == built_ids
+        # The reloaded system plans identically to the freshly built one.
+        from repro.schedule.planner import TestPlanner
+
+        assert (
+            TestPlanner(reloaded).plan(reused_processors=2).makespan
+            == TestPlanner(built).plan(reused_processors=2).makespan
+        )
+        # Further lookups are memory hits, not repeated disk reads.
+        reloaded_cache.get("d695_leon")
+        assert reloaded_cache.stats.as_dict() == {
+            "hits": 2,
+            "misses": 0,
+            "disk_hits": 1,
+        }
+
+    def test_corrupt_record_rebuilt(self, tmp_path):
+        cache = SystemCache(tmp_path)
+        cache.get("d695_leon")
+        (record,) = tmp_path.glob("system-build-*.pkl")
+        record.write_bytes(b"not a pickle")
+        fresh = SystemCache(tmp_path)
+        fresh.get("d695_leon")
+        assert fresh.stats.as_dict() == {"hits": 0, "misses": 1, "disk_hits": 0}
+
+    def test_schema_version_checked(self, tmp_path):
+        import pickle
+
+        cache = SystemCache(tmp_path)
+        cache.get("d695_leon")
+        (record,) = tmp_path.glob("system-build-*.pkl")
+        document = pickle.loads(record.read_bytes())
+        document["schema_version"] = 999
+        record.write_bytes(pickle.dumps(document))
+        fresh = SystemCache(tmp_path)
+        fresh.get("d695_leon")
+        assert fresh.stats.misses == 1
+
+    def test_library_version_checked(self, tmp_path):
+        """A record pickled by a different library version is rebuilt, not
+        unpickled into a potentially stale class shape."""
+        import pickle
+
+        cache = SystemCache(tmp_path)
+        cache.get("d695_leon")
+        (record,) = tmp_path.glob("system-build-*.pkl")
+        document = pickle.loads(record.read_bytes())
+        document["version"] = "0.0.0-stale"
+        record.write_bytes(pickle.dumps(document))
+        fresh = SystemCache(tmp_path)
+        fresh.get("d695_leon")
+        assert fresh.stats.misses == 1
+
+    def test_memory_only_cache_never_touches_disk(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        cache = SystemCache()
+        cache.get("d695_leon")
+        assert cache.cache_dir is None
+        assert not list(tmp_path.iterdir())
+
 
 @pytest.fixture
 def small_network():

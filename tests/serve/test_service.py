@@ -189,3 +189,45 @@ class TestHealth:
         health = service.health()
         assert health["store_version"]["records"] == 2
         assert health["jobs"] == 1
+
+    def test_health_reports_build_cache_counters(self, service):
+        health = service.health()
+        assert health["system_cache"] == {"hits": 0, "misses": 0, "disk_hits": 0}
+        assert health["characterization_cache"] == {
+            "hits": 0,
+            "misses": 0,
+            "disk_hits": 0,
+        }
+        run_small_sweep(service)
+        health = service.health()
+        # Two grid points over one system: one build, one memory hit.  The
+        # memory-only default (no cache_dir) can never produce disk hits.
+        assert health["system_cache"] == {"hits": 1, "misses": 1, "disk_hits": 0}
+
+    def test_health_counts_disk_hits_across_restarts(self, tmp_path):
+        cache_dir = tmp_path / "cache"
+        first = PlanningService(
+            tmp_path / "serve.db",
+            cache_ttl=60.0,
+            characterize=False,
+            cache_dir=cache_dir,
+        )
+        try:
+            run_small_sweep(first)
+            assert first.health()["system_cache"]["disk_hits"] == 0
+        finally:
+            first.close()
+        restarted = PlanningService(
+            tmp_path / "serve.db",
+            cache_ttl=60.0,
+            characterize=False,
+            cache_dir=cache_dir,
+        )
+        try:
+            run_small_sweep(restarted, name="after-restart")
+            health = restarted.health()
+            # The restarted daemon reloads the persisted build instead of
+            # rebuilding: its first lookup is already a (disk) hit.
+            assert health["system_cache"] == {"hits": 2, "misses": 0, "disk_hits": 1}
+        finally:
+            restarted.close()
