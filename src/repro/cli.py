@@ -22,15 +22,21 @@ Installed as ``repro-noctest`` (see ``pyproject.toml``) and runnable as
   JSON result store (``--out``, re-printable via ``--load``), a durable
   sqlite store with incremental re-runs (``--store``, ``--resume``),
   sharded execution of one deterministic slice of each grid
-  (``--shard-index``/``--shard-count``/``--shard-strategy``, for
-  distributing a sweep across hosts or CI jobs) and grids taken straight
-  from a spec file (``--spec-json``, how orchestration workers are driven).
-* ``orchestrate [SYSTEM...]`` — the multi-host flow on one machine: fan
-  each grid out over N local ``repro sweep --shard-index`` subprocess
-  workers (``--workers``), each writing its own sqlite store, then
+  (``--shard-index``/``--shard-count``/``--shard-strategy`` or an explicit
+  point list via ``--points``, for distributing a sweep across hosts or CI
+  jobs), chunked commits (``--checkpoint``, so a killed worker's completed
+  points survive for ``--resume``) and grids taken straight from a spec
+  file (``--spec-json``, how orchestration workers are driven).
+* ``orchestrate [SYSTEM...]`` — the multi-host flow: fan each grid out
+  over N ``repro sweep`` subprocess workers (``--workers``), each writing
+  its own sqlite store, supervise them through per-worker heartbeat files
+  and a worker state machine, retry/requeue failed, hung or lost shards
+  (``--max-retries``/``--retry-backoff``/``--heartbeat-timeout``), then
   auto-merge the shard stores into ``--store`` with per-shard run history
   carried; the merged export (``--export-json``) is byte-identical to a
-  serial run's.
+  serial run's.  With ``--hosts``/``--hosts-file`` the workers are
+  dispatched through a launcher (``ssh`` by default) onto a host pool
+  with cost-sized shards — see docs/operations.md.
 * ``merge OUT SHARD...`` — fold sharded sqlite stores back into one
   database; merging every shard of a grid yields a store whose exported
   document (``--export-json``) is byte-identical to a serial full run's.
@@ -78,8 +84,14 @@ from repro.itc02.library import available_benchmarks, export_benchmarks, load_be
 from repro.devtools.profile import PROFILE_SORT_KEYS
 from repro.noc.characterization import characterize_noc
 from repro.runner.atomic import atomic_write_text
-from repro.runner.backends import BACKEND_FACTORIES, ShardWorkerBackend, make_backend
+from repro.runner.backends import (
+    BACKEND_FACTORIES,
+    RemoteDispatchBackend,
+    ShardWorkerBackend,
+    make_backend,
+)
 from repro.runner.db import SweepDatabase
+from repro.runner.dispatch import LAUNCHERS, beat_heartbeat
 from repro.runner.engine import SweepRunner
 from repro.runner.spec import (
     SCHEDULER_FACTORIES,
@@ -230,7 +242,40 @@ _SWEEP_RUN_OPTIONS: tuple[tuple[str, str], ...] = (
     ("shard_count", "--shard-count"),
     ("shard_strategy", "--shard-strategy"),
     ("workdir", "--workdir"),
+    ("points", "--points"),
+    ("checkpoint", "--checkpoint"),
 )
+
+
+def _parse_point_indices(raw: str) -> tuple[int, ...]:
+    """Parse a ``--points`` comma-separated index list.
+
+    Raises:
+        ConfigurationError: for an empty list or a non-integer token.
+    """
+    indices = []
+    for token in raw.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            indices.append(int(token))
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"--points takes comma-separated grid indices, got {token!r}"
+            ) from exc
+    if not indices:
+        raise ConfigurationError("--points names no grid indices")
+    return tuple(sorted(set(indices)))
+
+
+def _worker_exit(code: int) -> int:
+    """Exit-code seam for fault injection (a no-op without ``REPRO_CHAOS``)."""
+    if os.environ.get("REPRO_CHAOS"):
+        from repro.devtools.chaos import rewrite_exit_code
+
+        return rewrite_exit_code(code)
+    return code
 
 
 def _reject_load_conflicts(args: argparse.Namespace) -> None:
@@ -342,7 +387,50 @@ def _sweep_title(spec: SweepSpec) -> str:
     return spec.systems[0] if len(spec.systems) == 1 else spec.name
 
 
+def _parse_host_list(args: argparse.Namespace) -> list[str] | None:
+    """Resolve ``--hosts``/``--hosts-file`` into a host list (or ``None``).
+
+    A hosts file names one host per line; blank lines and ``#`` comments
+    are skipped.
+
+    Raises:
+        ConfigurationError: when both sources are given, the file cannot be
+            read, or the file names no hosts.
+    """
+    if args.hosts and args.hosts_file:
+        raise ConfigurationError(
+            "--hosts and --hosts-file are two sources for the same host "
+            "list; pass one"
+        )
+    if args.hosts:
+        return [token.strip() for token in args.hosts.split(",") if token.strip()]
+    if args.hosts_file:
+        try:
+            text = Path(args.hosts_file).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot read hosts file {args.hosts_file}: {exc}"
+            ) from exc
+        hosts = [
+            line.strip()
+            for line in text.splitlines()
+            if line.strip() and not line.strip().startswith("#")
+        ]
+        if not hosts:
+            raise ConfigurationError(f"hosts file {args.hosts_file} names no hosts")
+        return hosts
+    return None
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    # Dispatched workers announce themselves before planning anything so a
+    # slow grid build cannot read as a dead worker; the hooks are no-ops
+    # outside a dispatch/chaos environment.
+    beat_heartbeat()
+    if os.environ.get("REPRO_CHAOS"):
+        from repro.devtools.chaos import on_worker_start
+
+        on_worker_start()
     if args.load:
         _reject_load_conflicts(args)
         for sweep in load_sweeps(args.load):
@@ -364,7 +452,41 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "--shard-index/--shard-count need --store: shard results must land "
             "in a sqlite store so `repro merge` can fold the shards together"
         )
-    orchestrated = args.backend == ShardWorkerBackend.name
+    point_indices = (
+        _parse_point_indices(args.points) if args.points is not None else None
+    )
+    if point_indices is not None and not args.store:
+        raise ConfigurationError(
+            "--points needs --store: point-sliced results must land in a "
+            "sqlite store so the dispatcher can merge and resume them"
+        )
+    if point_indices is not None and args.shard_count is not None:
+        raise ConfigurationError(
+            "--points and --shard-index/--shard-count are two ways to slice "
+            "the grid; pass one"
+        )
+    if args.checkpoint is not None and not args.store:
+        raise ConfigurationError(
+            "--checkpoint commits completed points to the sqlite store in "
+            "chunks; it needs --store"
+        )
+    orchestrated = args.backend in (ShardWorkerBackend.name, RemoteDispatchBackend.name)
+    hosts = _parse_host_list(args)
+    if hosts is not None and args.backend != RemoteDispatchBackend.name:
+        raise ConfigurationError(
+            "--hosts/--hosts-file configure the remote backend; add "
+            "--backend remote"
+        )
+    if args.launcher is not None and args.backend != RemoteDispatchBackend.name:
+        raise ConfigurationError(
+            "--launcher picks how the remote backend spawns workers; add "
+            "--backend remote"
+        )
+    if args.backend == RemoteDispatchBackend.name and hosts is None:
+        raise ConfigurationError(
+            "--backend remote needs a host list "
+            "(--hosts h1,h2,... or --hosts-file)"
+        )
     if args.shard_strategy != "contiguous" and args.shard_count is None and not orchestrated:
         raise ConfigurationError(
             "--shard-strategy needs --shard-index/--shard-count (or the "
@@ -383,17 +505,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if orchestrated:
         if not args.store:
             raise ConfigurationError(
-                "--backend shard-workers needs --store: the shard workers' "
+                f"--backend {args.backend} needs --store: the shard workers' "
                 "results are merged into a sqlite store"
             )
         if args.shard_count is not None:
             raise ConfigurationError(
-                "--backend shard-workers partitions the grid itself; drop "
+                f"--backend {args.backend} partitions the grid itself; drop "
                 "--shard-index/--shard-count (they configure a single worker)"
+            )
+        if point_indices is not None:
+            raise ConfigurationError(
+                f"--backend {args.backend} partitions the grid itself; drop "
+                "--points (it slices the grid for a single worker)"
             )
         if args.resume and args.workdir is None:
             raise ConfigurationError(
-                "--resume with the shard-workers backend needs --workdir: "
+                f"--resume with the {args.backend} backend needs --workdir: "
                 "workers resume from their previous shard stores, which only "
                 "survive in a persistent work directory"
             )
@@ -403,15 +530,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         backend = make_backend(
             args.backend,
             jobs=args.jobs,
-            workers=args.workers if args.workers is not None else 2,
+            workers=args.workers,
             strategy=args.shard_strategy,
+            hosts=hosts,
+            launcher=args.launcher,
         )
+        if orchestrated and args.checkpoint is not None:
+            backend.checkpoint_every = args.checkpoint
     runner = SweepRunner(
         jobs=args.jobs,
         backend=backend,
         cache_dir=args.cache_dir,
         characterize=not args.no_characterize,
         packet_count=args.packets,
+        checkpoint_every=args.checkpoint,
     )
     specs = _build_sweep_specs(args)
 
@@ -420,8 +552,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 0
 
     # Computed before executing anything so an out-of-range shard index
-    # fails fast instead of after the first grid ran.
-    if args.shard_count is not None:
+    # (or point index) fails fast instead of after the first grid ran.
+    if point_indices is not None:
+        planned_points = sum(len(spec.points_at(point_indices)) for spec in specs)
+    elif args.shard_count is not None:
         planned_points = sum(
             len(spec.shard(args.shard_index, args.shard_count, strategy=args.shard_strategy))
             for spec in specs
@@ -444,7 +578,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"for {planned_points} grid points "
         f"on {runner.jobs} worker(s)"
     )
-    return 0
+    return _worker_exit(0)
 
 
 def _run_sweeps_plain(
@@ -479,15 +613,24 @@ def _run_sweeps_plain(
 def _run_sweeps_stored(
     args: argparse.Namespace, runner: SweepRunner, specs: Sequence[SweepSpec]
 ) -> None:
-    """Execute every spec (or one shard of it) against the sqlite store."""
+    """Execute every spec (or one slice of it) against the sqlite store."""
     sharded = args.shard_count is not None
+    point_indices = (
+        _parse_point_indices(args.points)
+        if getattr(args, "points", None) is not None
+        else None
+    )
     executed = skipped = 0
     # A sweep run is a genuine writer entry point: this process owns the
     # (shard) store for the duration of the run.
     with SweepDatabase(args.store) as db:  # repro-lint: disable=RL002
         reports = []
         for spec in specs:
-            if sharded:
+            if point_indices is not None:
+                report = runner.run_points(
+                    spec, db, point_indices, resume=args.resume
+                )
+            elif sharded:
                 report = runner.run_shard(
                     spec,
                     db,
@@ -512,6 +655,7 @@ def _run_sweeps_stored(
         f"store {args.store}: {executed} executed, {skipped} skipped "
         f"across {len(specs)} sweep(s)"
         + (f" [shard {args.shard_index}/{args.shard_count}]" if sharded else "")
+        + (f" [points {len(point_indices)}]" if point_indices is not None else "")
         + (" [resume]" if args.resume else "")
     )
 
@@ -542,10 +686,18 @@ def _run_sweeps_orchestrated(
                 )
             )
             for worker in report.workers:
+                retries = worker.retries
                 print(
                     f"  worker {worker.shard_index}/{worker.shard_count}: "
                     f"{worker.store_path} [exit {worker.returncode}]"
+                    + (
+                        f" [{retries} retr{'y' if retries == 1 else 'ies'}]"
+                        if retries
+                        else ""
+                    )
                 )
+                for attempt in worker.attempts:
+                    print(f"    attempt {attempt.attempt}: {attempt.describe()}")
             print()
         if args.out:
             written = save_stored_sweeps(
@@ -567,11 +719,44 @@ def _cmd_orchestrate(args: argparse.Namespace) -> int:
             "--resume needs --workdir: workers resume from their previous "
             "shard stores, which only survive in a persistent work directory"
         )
-    backend = ShardWorkerBackend(
-        workers=args.workers,
-        strategy=args.shard_strategy,
-        timeout=args.worker_timeout,
+    hosts = _parse_host_list(args)
+    if args.launcher is not None and hosts is None:
+        raise ConfigurationError(
+            "--launcher picks how remote workers are spawned; it needs a "
+            "host list (--hosts h1,h2,... or --hosts-file)"
+        )
+    cost_sizing = (
+        args.cost_shards if args.cost_shards is not None else hosts is not None
     )
+    max_retries = (
+        args.max_retries
+        if args.max_retries is not None
+        else (2 if hosts is not None else 0)
+    )
+    if hosts is not None:
+        backend = RemoteDispatchBackend(
+            hosts,
+            workers=args.workers,
+            strategy=args.shard_strategy,
+            timeout=args.worker_timeout,
+            max_retries=max_retries,
+            retry_backoff=args.retry_backoff,
+            heartbeat_timeout=args.heartbeat_timeout,
+            launcher=args.launcher if args.launcher is not None else "ssh",
+            cost_sizing=cost_sizing,
+            checkpoint_every=args.checkpoint if args.checkpoint is not None else 1,
+        )
+    else:
+        backend = ShardWorkerBackend(
+            workers=args.workers if args.workers is not None else 3,
+            strategy=args.shard_strategy,
+            timeout=args.worker_timeout,
+            max_retries=max_retries,
+            retry_backoff=args.retry_backoff,
+            heartbeat_timeout=args.heartbeat_timeout,
+            cost_sizing=cost_sizing,
+            checkpoint_every=args.checkpoint,
+        )
     runner = SweepRunner(
         backend=backend,
         cache_dir=args.cache_dir,
@@ -677,6 +862,13 @@ def _cmd_history(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    dispatch_hosts = None
+    if args.dispatch_hosts:
+        dispatch_hosts = [
+            token.strip() for token in args.dispatch_hosts.split(",") if token.strip()
+        ]
+        if not dispatch_hosts:
+            raise ConfigurationError("--dispatch-hosts names no hosts")
     server = create_server(
         args.store,
         host=args.host,
@@ -688,6 +880,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         auth_token=args.auth_token,
         max_queue=args.max_queue,
         max_body_bytes=args.max_body_bytes,
+        dispatch_hosts=dispatch_hosts,
+        dispatch_launcher=args.dispatch_launcher,
     )
     auth = "token auth" if args.auth_token else "open access"
     print(
@@ -958,6 +1152,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition each grid into N deterministic shards (needs --store; "
         "fold the shard stores together with `repro merge`)",
     )
+    sweep.add_argument(
+        "--points",
+        default=None,
+        metavar="I,J,...",
+        help="run only these 0-based grid point indices (needs --store; how "
+        "cost-sized dispatch drives its workers)",
+    )
+    sweep.add_argument(
+        "--checkpoint",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --store: commit completed points every N points so a "
+        "killed run loses at most N points' work (default: one commit per "
+        "run)",
+    )
+    sweep.add_argument(
+        "--hosts",
+        default=None,
+        metavar="H1,H2,...",
+        help="host list for --backend remote",
+    )
+    sweep.add_argument(
+        "--hosts-file",
+        default=None,
+        metavar="FILE",
+        help="file naming one host per line for --backend remote "
+        "(blank lines and # comments are skipped)",
+    )
+    sweep.add_argument(
+        "--launcher",
+        choices=sorted(LAUNCHERS),
+        default=None,
+        help="how --backend remote spawns workers (default: ssh; local "
+        "spawns plain subprocesses, for tests and CI)",
+    )
     sweep.set_defaults(
         handler=_cmd_sweep,
         _sweep_run_defaults={
@@ -986,9 +1216,10 @@ def build_parser() -> argparse.ArgumentParser:
     orchestrate.add_argument(
         "--workers",
         type=int,
-        default=3,
+        default=None,
         metavar="N",
-        help="shard workers per grid (default: 3)",
+        help="shard workers per grid (default: 3, or one per host with "
+        "--hosts/--hosts-file)",
     )
     orchestrate.add_argument(
         "--resume",
@@ -1001,7 +1232,69 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=None,
         metavar="SECONDS",
-        help="kill workers still running after this long (default: wait)",
+        help="kill worker attempts still running after this long "
+        "(default: wait)",
+    )
+    orchestrate.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-dispatch a failed, timed-out or lost shard up to N times "
+        "(default: 0, or 2 with --hosts/--hosts-file)",
+    )
+    orchestrate.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="base delay before re-dispatching a shard; doubles per retry "
+        "with deterministic jitter (default: 0.5)",
+    )
+    orchestrate.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="declare a worker lost when its heartbeat file goes stale for "
+        "this long (default: 30)",
+    )
+    orchestrate.add_argument(
+        "--hosts",
+        default=None,
+        metavar="H1,H2,...",
+        help="dispatch workers onto these hosts (switches to the remote "
+        "backend; the workdir must be shared across hosts)",
+    )
+    orchestrate.add_argument(
+        "--hosts-file",
+        default=None,
+        metavar="FILE",
+        help="file naming one host per line (blank lines and # comments "
+        "are skipped); switches to the remote backend",
+    )
+    orchestrate.add_argument(
+        "--launcher",
+        choices=sorted(LAUNCHERS),
+        default=None,
+        help="how remote workers are spawned (default: ssh; local spawns "
+        "plain subprocesses, for tests and CI)",
+    )
+    orchestrate.add_argument(
+        "--cost-shards",
+        action="store_true",
+        default=None,
+        help="size shards from measured per-point costs in the store "
+        "(default: off locally, on with --hosts/--hosts-file)",
+    )
+    orchestrate.add_argument(
+        "--checkpoint",
+        type=int,
+        default=None,
+        metavar="N",
+        help="make workers commit every N points so a killed worker's "
+        "completed points survive for --resume (default: one commit per "
+        "shard, or every point with --hosts/--hosts-file)",
     )
     orchestrate.add_argument(
         "--export-json",
@@ -1140,6 +1433,19 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="BYTES",
         help="largest accepted request body; larger ones are answered 413 "
         "(default: 1000000)",
+    )
+    serve.add_argument(
+        "--dispatch-hosts",
+        default=None,
+        metavar="H1,H2,...",
+        help="host list offered to sweep jobs that ask for the remote "
+        "backend (default: remote jobs are rejected)",
+    )
+    serve.add_argument(
+        "--dispatch-launcher",
+        choices=sorted(LAUNCHERS),
+        default=None,
+        help="launcher for remote sweep jobs (default: ssh)",
     )
     serve.set_defaults(handler=_cmd_serve)
 

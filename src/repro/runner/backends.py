@@ -15,24 +15,31 @@ the points execute to an :class:`ExecutionBackend`.  Three backends ship:
     :meth:`SweepSpec.shard <repro.runner.spec.SweepSpec.shard>`, spawns one
     detached ``repro sweep --shard-index i --shard-count n --store``
     subprocess per shard (each writing its own
-    :class:`~repro.runner.db.SweepDatabase`), monitors them, and folds the
+    :class:`~repro.runner.db.SweepDatabase`), supervises them through the
+    fault-tolerant dispatch layer (:mod:`repro.runner.dispatch`: worker
+    state machine, heartbeats, retry/requeue with resume), and folds the
     shard stores into the target store with
     :meth:`SweepDatabase.merge_all <repro.runner.db.SweepDatabase.merge_all>`
     (``carry_history=True``, so per-shard run trajectories survive the
     merge).  A ``worker_command`` hook rewrites the spawned command line,
-    which is where a remote dispatcher (``ssh host ...``, a CI job
-    submitter) slots in.
+    which is where a custom dispatcher (a CI job submitter) slots in.
+:class:`RemoteDispatchBackend`
+    The shard-worker backend pointed at a real host pool (``--hosts``):
+    worker commands go through a pluggable *launcher* (``ssh`` by default,
+    plain subprocess for tests), shards are sized by measured per-point
+    cost from the history store when available, and retries requeue onto
+    surviving hosts.
 
 Backends differ in *capability*, not just speed: the first two execute
 arbitrary point sequences in-process (``supports_inline``) and therefore
-serve every ``SweepRunner`` entry point, while the shard-worker backend only
-orchestrates whole grids into a store (``supports_orchestration``) — the
+serve every ``SweepRunner`` entry point, while the shard-worker backends
+only orchestrate whole grids into a store (``supports_orchestration``) — the
 runner checks the capability at the call site and fails with a clear
 :class:`~repro.errors.ConfigurationError` instead of mis-executing.
 
-New execution scenarios (an SSH pool, a batch-queue submitter, an async
-in-process executor) are new :class:`ExecutionBackend` subclasses registered
-in :data:`BACKEND_FACTORIES`; the engine itself needs no further surgery.
+New execution scenarios (a batch-queue submitter, an async in-process
+executor) are new :class:`ExecutionBackend` subclasses registered in
+:data:`BACKEND_FACTORIES`; the engine itself needs no further surgery.
 """
 
 from __future__ import annotations
@@ -40,7 +47,6 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
-import subprocess
 import sys
 import tempfile
 import time
@@ -51,12 +57,28 @@ from typing import TYPE_CHECKING, Callable, Sequence
 from repro.errors import ConfigurationError, OrchestrationError
 from repro.runner.atomic import atomic_write_text
 from repro.runner.cache import SystemCache
+from repro.runner.dispatch import (
+    AttemptRecord,
+    DispatchPolicy,
+    Launcher,
+    ShardOutcome,
+    WorkerState,
+    WorkerSupervisor,
+    beat_heartbeat,
+    failure_detail,
+    log_tail,
+    make_launcher,
+)
 from repro.runner.spec import SHARD_STRATEGIES, SweepPoint, SweepSpec, make_scheduler
 from repro.schedule.planner import TestPlanner
 from repro.schedule.result import ScheduleResult
 
 if TYPE_CHECKING:  # imported lazily at runtime (db imports the store layer)
     from repro.runner.db import MergeReport, SweepDatabase
+
+# Kept under its historical private name; the implementation lives with the
+# rest of the failure-reporting helpers in the dispatch layer.
+_log_tail = log_tail
 
 
 def execute_point(point: SweepPoint, system_cache: SystemCache) -> ScheduleResult:
@@ -67,11 +89,22 @@ def execute_point(point: SweepPoint, system_cache: SystemCache) -> ScheduleResul
         pattern_penalty=point.pattern_penalty,
     )
     planner = TestPlanner(system, scheduler=make_scheduler(point.scheduler))
-    return planner.plan(
+    result = planner.plan(
         reused_processors=point.reused_processors,
         power_limit_fraction=point.power_limit_fraction,
         label=point.label,
     )
+    # Progress heartbeat for dispatched workers (no-op elsewhere): beating
+    # after the plan means a hung planner stops beating and gets caught by
+    # the supervisor's staleness check.
+    beat_heartbeat()
+    if os.environ.get("REPRO_CHAOS"):
+        # Fault injection for dispatch tests; imported lazily so production
+        # runs never touch the devtools package.
+        from repro.devtools.chaos import on_point_planned
+
+        on_point_planned()
+    return result
 
 
 #: Per-process system cache used by pool workers.  The pool initializer
@@ -103,6 +136,10 @@ class WorkerPlan:
             receives this plan and may return a different command (e.g.
             ``["ssh", host, *plan.argv]``) — the dispatch seam for remote
             fan-out.
+        heartbeat_path: file the worker touches to prove progress (the
+            supervisor's liveness signal; defaults next to the log file).
+        point_indices: explicit grid indices this worker executes when the
+            grid was cost-sized (``None`` for equal index/count shards).
     """
 
     shard_index: int
@@ -111,17 +148,35 @@ class WorkerPlan:
     store_path: Path
     log_path: Path
     argv: tuple[str, ...]
+    heartbeat_path: Path | None = None
+    point_indices: tuple[int, ...] | None = None
 
 
 @dataclass(frozen=True)
 class WorkerOutcome:
-    """One finished shard worker."""
+    """One finished shard worker (its final state and attempt history).
+
+    Attributes:
+        shard_index / shard_count / store_path / log_path: the worker's
+            plan coordinates.
+        returncode: exit code of the final attempt.
+        state: the shard's terminal :class:`~repro.runner.dispatch.WorkerState`.
+        attempts: per-attempt history (states, durations, heartbeat ages) —
+            what ``repro orchestrate`` prints per worker.
+    """
 
     shard_index: int
     shard_count: int
     store_path: Path
     log_path: Path
     returncode: int
+    state: WorkerState = WorkerState.FINISHED
+    attempts: tuple[AttemptRecord, ...] = ()
+
+    @property
+    def retries(self) -> int:
+        """Attempts beyond the first."""
+        return max(len(self.attempts) - 1, 0)
 
 
 @dataclass(frozen=True)
@@ -187,6 +242,15 @@ class ExecutionBackend:
             f"backend {self.name!r} cannot execute sweep points in-process"
         )
 
+    def measured_costs(self) -> dict[int, float] | None:
+        """Measured wall-clock seconds per point index of the last :meth:`execute`.
+
+        ``None`` when the backend does not measure (the default).  Costs
+        are control metadata for cost-based shard sizing — they never enter
+        records, exports or fingerprints.
+        """
+        return None
+
     def orchestrate(
         self,
         spec: SweepSpec,
@@ -211,16 +275,35 @@ class ExecutionBackend:
 
 
 class SerialBackend(ExecutionBackend):
-    """Execute every point in-process, one after the other."""
+    """Execute every point in-process, one after the other.
+
+    The serial backend also measures each point's wall-clock planning time
+    (:meth:`measured_costs`); store-backed runs persist the measurements to
+    the ``point_costs`` table, which is what feeds cost-based shard sizing
+    on the next orchestration of the same grid.
+    """
 
     name = "serial"
     supports_inline = True
+
+    def __init__(self) -> None:
+        self._last_costs: dict[int, float] = {}
 
     def execute(
         self, points: Sequence[SweepPoint], *, system_cache: SystemCache
     ) -> list[ScheduleResult]:
         """Plan each point in submission order on the calling thread."""
-        return [execute_point(point, system_cache) for point in points]
+        self._last_costs = {}
+        results = []
+        for point in points:
+            started = time.perf_counter()
+            results.append(execute_point(point, system_cache))
+            self._last_costs[point.index] = time.perf_counter() - started
+        return results
+
+    def measured_costs(self) -> dict[int, float]:
+        """Per-point planning seconds measured by the last :meth:`execute`."""
+        return dict(self._last_costs)
 
 
 class ProcessPoolBackend(ExecutionBackend):
@@ -294,13 +377,36 @@ class ShardWorkerBackend(ExecutionBackend):
             command line actually spawned (default: the plan's local argv).
         python: interpreter for the default local command
             (default: ``sys.executable``).
-        timeout: seconds to wait for all workers before killing the
-            stragglers and raising (``None`` waits forever).
+        timeout: wall-clock budget per worker *attempt*; an attempt still
+            running after this long is killed and marked ``TimedOut``
+            (``None`` waits forever).
         poll_interval: seconds between liveness polls.
+        max_retries: extra attempts a failed/timed-out/lost shard may get
+            before the orchestration fails (default 0: fail fast, the
+            historical behaviour).  Retries resume the partial shard store
+            instead of discarding it.
+        retry_backoff: base delay before the first retry; doubles per
+            further retry, with deterministic jitter
+            (:meth:`DispatchPolicy.backoff_delay
+            <repro.runner.dispatch.DispatchPolicy.backoff_delay>`).
+        heartbeat_timeout: seconds after a worker's last observed heartbeat
+            before it is declared ``Lost`` and killed.
+        hosts: host-pool slot names to schedule attempts on (``None``:
+            synthetic ``local/<i>`` slots, one per worker).
+        launcher: launcher name from :data:`~repro.runner.dispatch.LAUNCHERS`
+            or a launcher callable; maps ``(host, argv, env)`` to the
+            spawned command (default ``"local"``).
+        cost_sizing: size shards by measured per-point planning cost from
+            the target store (``point_costs``) instead of equal point
+            counts, when measurements exist (default off).
+        checkpoint_every: forwarded to workers as ``--checkpoint``: commit
+            every N points so a killed attempt leaves its completed work
+            resumable (``None`` keeps single-transaction shard commits).
 
     Raises:
-        ConfigurationError: for a non-positive worker count or an unknown
-            shard strategy.
+        ConfigurationError: for a non-positive worker count, an unknown
+            shard strategy or launcher, a non-positive ``checkpoint_every``,
+            or invalid retry/heartbeat parameters.
     """
 
     name = "shard-workers"
@@ -315,6 +421,13 @@ class ShardWorkerBackend(ExecutionBackend):
         python: str | None = None,
         timeout: float | None = None,
         poll_interval: float = 0.05,
+        max_retries: int = 0,
+        retry_backoff: float = 0.5,
+        heartbeat_timeout: float = 30.0,
+        hosts: Sequence[str] | None = None,
+        launcher: str | Launcher = "local",
+        cost_sizing: bool = False,
+        checkpoint_every: int | None = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError("shard workers must be a positive worker count")
@@ -323,12 +436,29 @@ class ShardWorkerBackend(ExecutionBackend):
             raise ConfigurationError(
                 f"unknown shard strategy {strategy!r}; known strategies: {known}"
             )
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ConfigurationError(
+                "checkpoint_every must be a positive number of points (or None)"
+            )
         self.workers = workers
         self.strategy = strategy
         self.worker_command = worker_command
         self.python = python or sys.executable
         self.timeout = timeout
         self.poll_interval = poll_interval
+        # Validates max_retries/retry_backoff/heartbeat_timeout eagerly, so
+        # a bad flag fails at construction rather than mid-orchestration.
+        self.policy = DispatchPolicy(
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            heartbeat_timeout=heartbeat_timeout,
+            attempt_timeout=timeout,
+            poll_interval=poll_interval,
+        )
+        self.hosts = list(hosts) if hosts is not None else None
+        self.launcher = launcher if callable(launcher) else make_launcher(launcher)
+        self.cost_sizing = cost_sizing
+        self.checkpoint_every = checkpoint_every
 
     @property
     def worker_count(self) -> int:
@@ -347,16 +477,23 @@ class ShardWorkerBackend(ExecutionBackend):
         characterize: bool = False,
         packet_count: int = 200,
         cache_dir: str | Path | None = None,
+        point_groups: Sequence[Sequence[int]] | None = None,
     ) -> list[WorkerPlan]:
         """Lay out the shard workers for ``spec`` under ``workdir``.
 
         Writes the spec as JSON once (workers rebuild it with
         ``repro sweep --spec-json``, so arbitrary grids orchestrate — not
         just the ones expressible through grid flags) and plans one worker
-        per shard, each with its own store and log file.  Everything lands
-        in a per-grid subdirectory (keyed by the spec's content hash), so
-        one ``workdir`` serves any number of orchestrated grids without
-        their shard stores colliding.
+        per shard, each with its own store, log and heartbeat file.
+        Everything lands in a per-grid subdirectory (keyed by the spec's
+        content hash), so one ``workdir`` serves any number of orchestrated
+        grids without their shard stores colliding.
+
+        ``point_groups`` (one index set per worker, from cost-based sizing)
+        switches the worker command line from ``--shard-index/--shard-count``
+        to an explicit ``--points`` list; the groups must be a disjoint
+        cover of the grid, which keeps the merged result byte-identical to
+        any other partition.
         """
         workdir = workdir / spec.content_key()[:12]
         workdir.mkdir(parents=True, exist_ok=True)
@@ -367,6 +504,11 @@ class ShardWorkerBackend(ExecutionBackend):
             spec_path,
             json.dumps(spec.to_dict(), indent=2, sort_keys=True) + "\n",
         )
+        if point_groups is not None and len(point_groups) != self.workers:
+            raise ConfigurationError(
+                f"cost sizing produced {len(point_groups)} point group(s) "
+                f"for {self.workers} worker(s)"
+            )
         plans = []
         for index in range(self.workers):
             store_path = workdir / f"shard-{index}-of-{self.workers}.db"
@@ -379,13 +521,22 @@ class ShardWorkerBackend(ExecutionBackend):
                 str(spec_path),
                 "--store",
                 str(store_path),
-                "--shard-index",
-                str(index),
-                "--shard-count",
-                str(self.workers),
-                "--shard-strategy",
-                self.strategy,
             ]
+            indices: tuple[int, ...] | None = None
+            if point_groups is not None:
+                indices = tuple(sorted(point_groups[index]))
+                argv.extend(["--points", ",".join(str(i) for i in indices)])
+            else:
+                argv.extend(
+                    [
+                        "--shard-index",
+                        str(index),
+                        "--shard-count",
+                        str(self.workers),
+                        "--shard-strategy",
+                        self.strategy,
+                    ]
+                )
             if resume:
                 argv.append("--resume")
             if characterize:
@@ -394,6 +545,8 @@ class ShardWorkerBackend(ExecutionBackend):
                 argv.append("--no-characterize")
             if cache_dir is not None:
                 argv.extend(["--cache-dir", str(cache_dir)])
+            if self.checkpoint_every is not None:
+                argv.extend(["--checkpoint", str(self.checkpoint_every)])
             plans.append(
                 WorkerPlan(
                     shard_index=index,
@@ -402,9 +555,48 @@ class ShardWorkerBackend(ExecutionBackend):
                     store_path=store_path,
                     log_path=workdir / f"shard-{index}.log",
                     argv=tuple(argv),
+                    heartbeat_path=workdir / f"shard-{index}.heartbeat",
+                    point_indices=indices,
                 )
             )
         return plans
+
+    def plan_point_groups(
+        self, spec: SweepSpec, store: "SweepDatabase"
+    ) -> list[tuple[int, ...]] | None:
+        """Cost-balanced index groups for ``spec``, one per worker.
+
+        Reads the measured mean per-point planning cost from the target
+        store (``SweepDatabase.point_cost_rows``, fed by earlier serial or
+        orchestrated runs of the grid) and packs points onto workers with
+        the greedy longest-processing-time heuristic: points sorted by
+        descending cost, each assigned to the currently lightest worker.
+        Points without a measurement get the mean of the measured costs.
+        Deterministic throughout (stable sort keys, index tie-breaks).
+
+        Returns ``None`` — meaning "fall back to equal sharding" — when the
+        store holds no measurements for this grid or the grid has fewer
+        points than workers (equal sharding already handles the empty-shard
+        case).
+        """
+        costs = store.point_cost_rows(spec.content_key())
+        if not costs:
+            return None
+        points = spec.points()
+        if len(points) < self.workers:
+            return None
+        mean_cost = sum(costs.values()) / len(costs)
+        weighted = sorted(
+            ((costs.get(point.index, mean_cost), point.index) for point in points),
+            key=lambda pair: (-pair[0], pair[1]),
+        )
+        loads = [0.0] * self.workers
+        groups: list[list[int]] = [[] for _ in range(self.workers)]
+        for cost, index in weighted:
+            lightest = min(range(self.workers), key=lambda w: (loads[w], w))
+            loads[lightest] += cost
+            groups[lightest].append(index)
+        return [tuple(sorted(group)) for group in groups]
 
     # ------------------------------------------------------------------
     # Orchestration.
@@ -427,6 +619,13 @@ class ShardWorkerBackend(ExecutionBackend):
         target's run count grows by the sum of the shard run counts while
         its exported document stays byte-identical to a serial full run's.
 
+        Workers run under the fault-tolerant supervisor
+        (:class:`~repro.runner.dispatch.WorkerSupervisor`): failed, hung or
+        lost attempts are retried with backoff up to ``max_retries`` times,
+        resuming the partial shard store — the merge invariant holds on
+        every retry path because records are keyed by global point index
+        and merges are idempotent.
+
         Args:
             spec: the grid to orchestrate.
             store: target store the merged shard results land in.
@@ -434,14 +633,15 @@ class ShardWorkerBackend(ExecutionBackend):
                 shard stores of an earlier run persist under ``workdir``).
             characterize / packet_count / cache_dir: the runner's
                 characterisation settings, forwarded as worker flags.
-            workdir: directory for shard stores, the spec file and worker
-                logs; defaults to a fresh temporary directory (kept on
-                failure so the logs stay inspectable, referenced in the
-                raised error).
+            workdir: directory for shard stores, the spec file, heartbeats
+                and worker logs; defaults to a fresh temporary directory
+                (kept on failure so the logs stay inspectable, referenced
+                in the raised error).
 
         Raises:
-            OrchestrationError: when a worker exits non-zero (its log tail
-                is included) or the timeout expires.
+            OrchestrationError: when a worker exhausts its attempts (exit
+                code, last heartbeat age and log tail are included) or an
+                attempt exceeds the timeout with no retries left.
             ResultStoreError: when the returned shard stores fail merge
                 validation (conflicting records, foreign spec keys).
         """
@@ -451,6 +651,9 @@ class ShardWorkerBackend(ExecutionBackend):
             workdir = Path(tempfile.mkdtemp(prefix="repro-orchestrate-"))
         else:
             workdir = Path(workdir)
+        point_groups = (
+            self.plan_point_groups(spec, store) if self.cost_sizing else None
+        )
         plans = self.plan_workers(
             spec,
             workdir,
@@ -458,19 +661,31 @@ class ShardWorkerBackend(ExecutionBackend):
             characterize=characterize,
             packet_count=packet_count,
             cache_dir=cache_dir,
+            point_groups=point_groups,
         )
-        outcomes = self._dispatch(plans)
-        failed = [outcome for outcome in outcomes if outcome.returncode != 0]
+        shard_outcomes = self._dispatch(plans)
+        failed = [outcome for outcome in shard_outcomes if not outcome.succeeded]
         if failed:
             details = "; ".join(
-                f"shard {outcome.shard_index}/{outcome.shard_count} exited "
-                f"{outcome.returncode}: {_log_tail(outcome.log_path)}"
+                failure_detail(outcome, attempt_timeout=self.timeout)
                 for outcome in failed
             )
             raise OrchestrationError(
-                f"{len(failed)} of {len(outcomes)} shard worker(s) failed "
+                f"{len(failed)} of {len(shard_outcomes)} shard worker(s) failed "
                 f"(logs under {workdir}): {details}"
             )
+        outcomes = [
+            WorkerOutcome(
+                shard_index=outcome.plan.shard_index,
+                shard_count=outcome.plan.shard_count,
+                store_path=outcome.plan.store_path,
+                log_path=outcome.plan.log_path,
+                returncode=outcome.returncode if outcome.returncode is not None else -1,
+                state=outcome.state,
+                attempts=outcome.attempts,
+            )
+            for outcome in shard_outcomes
+        ]
 
         spec_key = store.ensure_sweep(spec)
         shard_stores = [SweepDatabase.open_reader(plan.store_path) for plan in plans]
@@ -491,8 +706,14 @@ class ShardWorkerBackend(ExecutionBackend):
             workdir=workdir,
         )
 
-    def _dispatch(self, plans: Sequence[WorkerPlan]) -> list[WorkerOutcome]:
-        """Spawn every planned worker detached and wait for all of them."""
+    def _dispatch_hosts(self) -> list[str]:
+        """The host-pool slots attempts are scheduled on."""
+        if self.hosts:
+            return list(self.hosts)
+        return [f"local/{index}" for index in range(self.workers)]
+
+    def _worker_env(self) -> dict[str, str]:
+        """Environment for spawned workers (repro importable sans install)."""
         env = os.environ.copy()
         # Workers must import the same `repro` as the parent even when the
         # package is not installed (the PYTHONPATH=src development setup).
@@ -501,82 +722,88 @@ class ShardWorkerBackend(ExecutionBackend):
         env["PYTHONPATH"] = (
             src_root if not existing else os.pathsep.join([src_root, existing])
         )
+        return env
 
-        processes: list[tuple[WorkerPlan, subprocess.Popen]] = []
-        log_files = []
-        try:
-            for plan in plans:
-                argv = (
-                    list(self.worker_command(plan))
-                    if self.worker_command is not None
-                    else list(plan.argv)
-                )
-                # A live subprocess stream, not an artifact — atomic staging
-                # cannot apply to a file written while the worker runs.
-                log_file = open(plan.log_path, "wb")  # repro-lint: disable=RL003
-                log_files.append(log_file)
-                processes.append(
-                    (
-                        plan,
-                        subprocess.Popen(
-                            argv,
-                            stdout=log_file,
-                            stderr=subprocess.STDOUT,
-                            stdin=subprocess.DEVNULL,
-                            env=env,
-                            start_new_session=True,
-                        ),
-                    )
-                )
-            deadline = None if self.timeout is None else time.monotonic() + self.timeout
-            while any(process.poll() is None for _, process in processes):
-                if deadline is not None and time.monotonic() > deadline:
-                    stragglers = [
-                        plan.shard_index
-                        for plan, process in processes
-                        if process.poll() is None
-                    ]
-                    for _, process in processes:
-                        if process.poll() is None:
-                            process.kill()
-                    raise OrchestrationError(
-                        f"shard worker(s) {stragglers} still running after "
-                        f"{self.timeout:g}s; killed"
-                    )
-                time.sleep(self.poll_interval)
-        except BaseException:
-            for _, process in processes:
-                if process.poll() is None:
-                    process.kill()
-            raise
-        finally:
-            for _, process in processes:
-                if process.poll() is None:
-                    process.wait()
-            for log_file in log_files:
-                log_file.close()
-        return [
-            WorkerOutcome(
-                shard_index=plan.shard_index,
-                shard_count=plan.shard_count,
-                store_path=plan.store_path,
-                log_path=plan.log_path,
-                returncode=process.returncode,
+    def _dispatch(self, plans: Sequence[WorkerPlan]) -> list[ShardOutcome]:
+        """Run the planned workers under the fault-tolerant supervisor."""
+        supervisor = WorkerSupervisor(
+            plans,
+            hosts=self._dispatch_hosts(),
+            policy=self.policy,
+            launcher=self.launcher,
+            worker_command=self.worker_command,
+            base_env=self._worker_env(),
+        )
+        return supervisor.run()
+
+
+class RemoteDispatchBackend(ShardWorkerBackend):
+    """Shard-worker orchestration over a real host pool.
+
+    Identical mechanics to :class:`ShardWorkerBackend` — per-shard stores,
+    heartbeats, retry/requeue, history-carrying merge — with remote-leaning
+    defaults: worker commands go through a launcher (``ssh`` by default;
+    ``local`` spawns plain subprocesses, which is how tests and CI exercise
+    the remote path without real hosts), concurrency follows the host list,
+    shards are cost-sized from the history store when measurements exist,
+    workers checkpoint every point so a killed host loses at most one
+    point's work, and failed shards retry twice by default.  The workdir
+    must be reachable by every host (a shared filesystem) — the same
+    assumption the merge step already makes about shard stores.
+
+    Args:
+        hosts: host names to dispatch onto (required, non-empty).
+        workers: shard count (default: one per host).
+        launcher: launcher registry name or callable (default ``"ssh"``).
+        max_retries / retry_backoff / heartbeat_timeout / cost_sizing /
+            checkpoint_every: as on :class:`ShardWorkerBackend`, with the
+            fault-tolerant defaults described above.
+
+    Raises:
+        ConfigurationError: for an empty host list (and everything the base
+            class rejects).
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        hosts: Sequence[str],
+        *,
+        workers: int | None = None,
+        strategy: str = "contiguous",
+        worker_command: Callable[[WorkerPlan], Sequence[str]] | None = None,
+        python: str | None = None,
+        timeout: float | None = None,
+        poll_interval: float = 0.05,
+        max_retries: int = 2,
+        retry_backoff: float = 0.5,
+        heartbeat_timeout: float = 30.0,
+        launcher: str | Launcher = "ssh",
+        cost_sizing: bool = True,
+        checkpoint_every: int | None = 1,
+    ) -> None:
+        cleaned = [host.strip() for host in hosts if host and host.strip()]
+        if not cleaned:
+            raise ConfigurationError(
+                "the remote backend needs at least one host "
+                "(--hosts h1,h2,... or --hosts-file)"
             )
-            for plan, process in processes
-        ]
-
-
-def _log_tail(path: Path, *, limit: int = 400) -> str:
-    """The last ``limit`` characters of a worker log, flattened to one line."""
-    try:
-        text = path.read_text(encoding="utf-8", errors="replace").strip()
-    except OSError:
-        return "(no log)"
-    if not text:
-        return "(empty log)"
-    tail = text[-limit:]
-    return " ".join(tail.split())
+        super().__init__(
+            workers=workers if workers is not None else len(cleaned),
+            strategy=strategy,
+            worker_command=worker_command,
+            python=python,
+            timeout=timeout,
+            poll_interval=poll_interval,
+            max_retries=max_retries,
+            retry_backoff=retry_backoff,
+            heartbeat_timeout=heartbeat_timeout,
+            hosts=cleaned,
+            launcher=launcher,
+            cost_sizing=cost_sizing,
+            checkpoint_every=checkpoint_every,
+        )
 
 
 #: Execution backends a runner can name, keyed by their canonical name.
@@ -586,6 +813,7 @@ BACKEND_FACTORIES: dict[str, type[ExecutionBackend]] = {
     SerialBackend.name: SerialBackend,
     ProcessPoolBackend.name: ProcessPoolBackend,
     ShardWorkerBackend.name: ShardWorkerBackend,
+    RemoteDispatchBackend.name: RemoteDispatchBackend,
 }
 
 
@@ -593,25 +821,35 @@ def make_backend(
     name: str,
     *,
     jobs: int | None = 1,
-    workers: int = 2,
+    workers: int | None = 2,
     strategy: str = "contiguous",
     worker_command: Callable[[WorkerPlan], Sequence[str]] | None = None,
+    hosts: Sequence[str] | None = None,
+    launcher: str | Launcher | None = None,
 ) -> ExecutionBackend:
     """Instantiate the execution backend called ``name``.
 
-    ``jobs`` configures the pool backend, ``workers``/``strategy``/
-    ``worker_command`` the shard-worker backend; parameters that do not
-    apply to the named backend are checked, not silently dropped.
+    ``jobs`` configures the pool backend; ``workers``/``strategy``/
+    ``worker_command`` the shard-worker backends; ``hosts``/``launcher``
+    the remote backend (``workers=None`` there defaults to one shard per
+    host).  Parameters that do not apply to the named backend are checked,
+    not silently dropped.
 
     Raises:
-        ConfigurationError: for an unknown backend name, or for the serial
-            backend combined with a multi-process ``jobs`` value (that
-            contradiction almost certainly means ``--backend pool`` was
-            intended).
+        ConfigurationError: for an unknown backend name, hosts given to a
+            non-remote backend, the remote backend without hosts, or for
+            the serial backend combined with a multi-process ``jobs`` value
+            (that contradiction almost certainly means ``--backend pool``
+            was intended).
     """
     if name not in BACKEND_FACTORIES:
         known = ", ".join(sorted(BACKEND_FACTORIES))
         raise ConfigurationError(f"unknown backend {name!r}; known backends: {known}")
+    if hosts is not None and name != RemoteDispatchBackend.name:
+        raise ConfigurationError(
+            f"hosts only apply to the remote backend, not {name!r} "
+            "(--backend remote)"
+        )
     if name == SerialBackend.name:
         if jobs is not None and jobs != 1:
             raise ConfigurationError(
@@ -623,9 +861,24 @@ def make_backend(
         return ProcessPoolBackend(jobs=jobs)
     if jobs is not None and jobs != 1:
         raise ConfigurationError(
-            f"the shard-workers backend is sized with workers, not jobs={jobs}; "
+            f"the {name} backend is sized with workers, not jobs={jobs}; "
             "use --workers (jobs configures the in-process backends)"
         )
+    if name == RemoteDispatchBackend.name:
+        if hosts is None:
+            raise ConfigurationError(
+                "the remote backend needs at least one host "
+                "(--hosts h1,h2,... or --hosts-file)"
+            )
+        return RemoteDispatchBackend(
+            hosts,
+            workers=workers,
+            strategy=strategy,
+            worker_command=worker_command,
+            launcher=launcher if launcher is not None else "ssh",
+        )
     return ShardWorkerBackend(
-        workers=workers, strategy=strategy, worker_command=worker_command
+        workers=workers if workers is not None else 2,
+        strategy=strategy,
+        worker_command=worker_command,
     )

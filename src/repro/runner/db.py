@@ -21,9 +21,9 @@ remapped onto this store's sequence), so orchestrated runs keep their
 per-shard history trajectories — the default for
 :meth:`repro.runner.engine.SweepRunner.orchestrate`.
 
-Layout (``schema v3``; v1 is the JSON document format, v2 lacked the
-``jobs`` table — a v2 store migrates in place the first time a writer opens
-it):
+Layout (``schema v4``; v1 is the JSON document format, v2 lacked the
+``jobs`` table, v3 lacked the ``point_costs`` table — v2 and v3 stores
+migrate in place the first time a writer opens them):
 
 ``sweeps``
     One row per distinct grid, keyed by the spec's content hash
@@ -49,6 +49,14 @@ it):
     metadata, not results: they stay out of :meth:`data_version` (so the
     history read cache ignores job churn), out of :meth:`export_document`,
     and out of merges.
+``point_costs``
+    One row per point per run of measured wall-clock planning seconds (new
+    in v4), recorded by cost-measuring backends and read back by the
+    dispatcher for cost-based shard sizing (:meth:`point_cost_rows`).
+    Like job rows, costs are control metadata: excluded from
+    :meth:`data_version`, exports and run fingerprints, because wall-clock
+    noise must never influence byte-identity.  History-carrying merges
+    carry them so orchestrated stores keep feeding the sizing.
 
 Durability: the connection runs with WAL journaling and
 ``synchronous=NORMAL``; every mutation happens inside a transaction, so a
@@ -72,11 +80,12 @@ from repro.runner.spec import SweepSpec
 from repro.runner.store import StoredSweep, load_sweeps, save_stored_sweeps
 
 #: Version of the sqlite store layout (v1 is the JSON document format,
-#: v2 predates the ``jobs`` table; v2 stores migrate in place on open).
-DB_SCHEMA_VERSION = 3
+#: v2 predates the ``jobs`` table, v3 predates the ``point_costs`` table;
+#: v2 and v3 stores migrate in place on open).
+DB_SCHEMA_VERSION = 4
 
 #: Schema versions a writer upgrades in place (see ``_MIGRATIONS``).
-MIGRATABLE_VERSIONS = frozenset({2})
+MIGRATABLE_VERSIONS = frozenset({2, 3})
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS meta (
@@ -128,6 +137,13 @@ CREATE TABLE IF NOT EXISTS jobs (
     run_id          INTEGER,
     executed_points INTEGER,
     skipped_points  INTEGER
+);
+CREATE TABLE IF NOT EXISTS point_costs (
+    spec_key    TEXT NOT NULL REFERENCES sweeps(spec_key),
+    point_index INTEGER NOT NULL,
+    run_id      INTEGER NOT NULL REFERENCES runs(run_id),
+    seconds     REAL NOT NULL,
+    PRIMARY KEY (spec_key, point_index, run_id)
 );
 """
 
@@ -356,9 +372,10 @@ class SweepDatabase:
                     (str(DB_SCHEMA_VERSION),),
                 )
             elif found["value"] in {str(v) for v in MIGRATABLE_VERSIONS}:
-                # v2 -> v3: the jobs table the script just created is the
-                # whole upgrade; record both the new version and where the
-                # store came from, so migrations stay auditable.
+                # v2/v3 -> v4: the additive tables the script just created
+                # (jobs, point_costs) are the whole upgrade; record both the
+                # new version and where the store came from, so migrations
+                # stay auditable.
                 self._connection.execute(
                     "UPDATE meta SET value = ? WHERE key = 'schema_version'",
                     (str(DB_SCHEMA_VERSION),),
@@ -422,6 +439,7 @@ class SweepDatabase:
         skipped: int,
         source: str = "sweep",
         created_at: str | None = None,
+        point_costs: Mapping[int, float] | None = None,
     ) -> int:
         """Commit one run: a ``runs`` row plus its outcome records, atomically.
 
@@ -435,6 +453,13 @@ class SweepDatabase:
         ``created_at`` defaults to now; history-carrying merges pass the
         source run's timestamp so the carried run keeps its place on the
         history time axis.
+
+        ``point_costs`` maps point indices to measured wall-clock planning
+        seconds (schema v4, ``point_costs`` table).  Costs are control
+        metadata like job rows: the dispatcher reads them for cost-based
+        shard sizing (:meth:`point_cost_rows`), but they are excluded from
+        :meth:`data_version`, exports and record fingerprints — wall-clock
+        noise must never touch byte-identity.
         """
         self._require_writable("record a run")
         if created_at is None:
@@ -470,6 +495,15 @@ class SweepDatabase:
                     for record in records
                 ],
             )
+            if point_costs:
+                self._connection.executemany(
+                    "INSERT INTO point_costs (spec_key, point_index, run_id, "
+                    "seconds) VALUES (?, ?, ?, ?)",
+                    [
+                        (spec_key, int(index), run_id, float(seconds))
+                        for index, seconds in sorted(point_costs.items())
+                    ],
+                )
         return run_id
 
     def records(self, spec_key: str) -> list[dict]:
@@ -539,8 +573,32 @@ class SweepDatabase:
         ).fetchone()
         return (int(row["records_version"]), int(row["runs_version"]))
 
+    def point_cost_rows(self, spec_key: str) -> dict[int, float]:
+        """Mean measured planning seconds per point of ``spec_key``.
+
+        Averaged over every run that recorded a cost for the point (schema
+        v4 ``point_costs`` table), in SQL.  The dispatcher feeds this into
+        cost-based shard sizing; points without a measured cost are simply
+        absent — callers fall back to equal splitting for them.
+        """
+        rows = self._connection.execute(
+            "SELECT point_index, AVG(seconds) AS seconds FROM point_costs "
+            "WHERE spec_key = ? GROUP BY point_index ORDER BY point_index",
+            (spec_key,),
+        )
+        return {int(row["point_index"]): float(row["seconds"]) for row in rows}
+
+    def run_point_costs(self, run_id: int) -> dict[int, float]:
+        """The per-point costs one run recorded (for history-carrying merges)."""
+        rows = self._connection.execute(
+            "SELECT point_index, seconds FROM point_costs WHERE run_id = ? "
+            "ORDER BY point_index",
+            (run_id,),
+        )
+        return {int(row["point_index"]): float(row["seconds"]) for row in rows}
+
     # ------------------------------------------------------------------
-    # Serve jobs (schema v3).
+    # Serve jobs (since schema v3).
     # ------------------------------------------------------------------
     def upsert_job(self, snapshot: Mapping, *, spec_json: str) -> None:
         """Persist one sweep-job snapshot (insert or replace), atomically.
@@ -944,6 +1002,11 @@ class SweepDatabase:
                 skipped=run.skipped_points,
                 source=run.source,
                 created_at=run.created_at,
+                # Measured costs ride along so an orchestrated store feeds
+                # the next dispatch's cost-based shard sizing.  They are
+                # not fingerprinted: wall-clock noise must not make two
+                # otherwise-identical runs look different.
+                point_costs=other.run_point_costs(run.run_id),
             )
             runs_carried += 1
             inserted += len(records)

@@ -163,11 +163,18 @@ class SweepRunner:
         characterization_cache: share a :class:`CharacterizationCache`
             across runners (defaults to a fresh cache per runner, persisted
             under ``cache_dir``).
+        checkpoint_every: commit store-backed runs in chunks of this many
+            executed points instead of one transaction at the end.  A
+            worker killed mid-sweep then leaves every completed chunk
+            committed, so a resumed retry re-executes only the tail — the
+            foundation of the dispatcher's requeue-with-resume path.  Each
+            chunk is its own ``runs`` row; ``None`` (default) keeps the
+            historical single-transaction commit.
 
     Raises:
         ConfigurationError: for a negative worker count, an unknown backend
-            name, or a backend/jobs contradiction (serial backend with
-            ``jobs > 1``).
+            name, a non-positive ``checkpoint_every``, or a backend/jobs
+            contradiction (serial backend with ``jobs > 1``).
     """
 
     def __init__(
@@ -180,11 +187,17 @@ class SweepRunner:
         packet_count: int = 200,
         system_cache: SystemCache | None = None,
         characterization_cache: CharacterizationCache | None = None,
+        checkpoint_every: int | None = None,
     ) -> None:
         if jobs is None or jobs == 0:
             jobs = os.cpu_count() or 1
         if jobs < 1:
             raise ConfigurationError("jobs must be a positive worker count")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ConfigurationError(
+                "checkpoint_every must be a positive number of points (or None)"
+            )
+        self.checkpoint_every = checkpoint_every
         if backend is None:
             backend = "serial" if jobs == 1 else "pool"
         if isinstance(backend, str):
@@ -253,8 +266,10 @@ class SweepRunner:
         whole grid is executed and re-recorded.
 
         The executed records are committed to the store in one transaction
-        together with a ``runs`` row holding the executed/skipped counters.
-        ``source`` labels the run in the store's history time axis
+        together with a ``runs`` row holding the executed/skipped counters
+        (or in chunks of ``checkpoint_every`` points, each its own run row,
+        when the runner was configured to checkpoint).  ``source`` labels
+        the run in the store's history time axis
         (default ``"sweep"``; the serve daemon passes ``"serve:<job id>"``
         so `repro history` attributes API-submitted runs).
 
@@ -308,6 +323,40 @@ class SweepRunner:
             resume=resume,
             source=f"shard:{shard_index}/{shard_count}",
             shard=(shard_index, shard_count),
+        )
+
+    def run_points(
+        self,
+        spec: SweepSpec,
+        store: "SweepDatabase",
+        indices: Sequence[int],
+        *,
+        resume: bool = False,
+    ) -> StoreRunReport:
+        """Execute an arbitrary index subset of ``spec`` into ``store``.
+
+        The free-form counterpart of :meth:`run_shard` for partitions that
+        are not equal slices — cost-based dispatch sizes its shards by
+        measured per-point planning cost and hands each worker its index
+        set (``repro sweep --points``).  Points keep their global indices
+        (``SweepSpec.points_at``), so any disjoint cover of the grid merges
+        back byte-identical to a serial full run, exactly like the built-in
+        shard strategies.  The run lands with source ``points:<n>``.
+
+        Raises:
+            ConfigurationError: for an empty or out-of-range selection, or
+                when the configured backend cannot execute points
+                in-process.
+        """
+        self._require_inline("run_points()")
+        points = spec.points_at(indices)
+        return self._run_into_store(
+            spec,
+            store,
+            points,
+            resume=resume,
+            source=f"points:{len(points)}",
+            shard=None,
         )
 
     def orchestrate(
@@ -365,14 +414,28 @@ class SweepRunner:
         spec_key = store.ensure_sweep(spec)
         existing = self._reusable_indices(store, spec_key) if resume else frozenset()
         pending = tuple(point for point in points if point.index not in existing)
-        outcomes = self._run_points(pending)
-        run_id = store.record_run(
-            spec_key,
-            [outcome.record() for outcome in outcomes],
-            executed=len(pending),
-            skipped=len(points) - len(pending),
-            source=source,
-        )
+        skipped = len(points) - len(pending)
+        if not pending:
+            # An all-skipped (or empty-shard) run still records its runs row
+            # so counters, history and over-provisioned workers stay intact.
+            run_id = store.record_run(
+                spec_key, [], executed=0, skipped=skipped, source=source
+            )
+        else:
+            chunk_size = self.checkpoint_every or len(pending)
+            for start in range(0, len(pending), chunk_size):
+                chunk = pending[start : start + chunk_size]
+                outcomes = self._run_points(chunk)
+                run_id = store.record_run(
+                    spec_key,
+                    [outcome.record() for outcome in outcomes],
+                    executed=len(chunk),
+                    # The skipped counter describes the whole resumed run;
+                    # it rides on the first chunk so per-run sums stay right.
+                    skipped=skipped if start == 0 else 0,
+                    source=source,
+                    point_costs=self.backend.measured_costs(),
+                )
         # Restricted to this run's points: when several shards land in the
         # same store, a shard's report must not leak the other shards' rows.
         wanted = {point.index for point in points}

@@ -319,6 +319,31 @@ class SweepSpec:
         start = index * base + min(index, remainder)
         return points[start : start + base + (1 if index < remainder else 0)]
 
+    def points_at(self, indices: Iterable[int]) -> tuple[SweepPoint, ...]:
+        """The points at ``indices`` of the expanded order, ascending.
+
+        The arbitrary-subset counterpart of :meth:`shard`, used by
+        cost-based dispatch (``repro sweep --points``): any partition of the
+        grid into index sets executes and merges exactly like the built-in
+        shard strategies, because every point keeps its global index.
+        Indices are deduplicated and returned in ascending order so a
+        subset run preserves the canonical point order.
+
+        Raises:
+            ConfigurationError: for an empty selection or an out-of-range
+                index.
+        """
+        wanted = sorted(set(int(index) for index in indices))
+        if not wanted:
+            raise ConfigurationError("point selection must name at least one index")
+        points = self.points()
+        if wanted[0] < 0 or wanted[-1] >= len(points):
+            raise ConfigurationError(
+                f"point index {wanted[0] if wanted[0] < 0 else wanted[-1]} is out "
+                f"of range for a grid of {len(points)} point(s)"
+            )
+        return tuple(points[index] for index in wanted)
+
     @property
     def point_count(self) -> int:
         """Number of grid points the spec expands to."""

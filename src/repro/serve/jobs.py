@@ -28,9 +28,11 @@ Jobs carry no planning logic of their own: a job is a
 :class:`~repro.runner.spec.SweepSpec` plus a backend name, executed via
 :meth:`SweepRunner.run_stored <repro.runner.engine.SweepRunner.run_stored>`
 (serial/pool backends) or :meth:`SweepRunner.orchestrate
-<repro.runner.engine.SweepRunner.orchestrate>` (the shard-worker backend),
-with the run recorded under source ``serve:<job id>`` so ``repro history``
-attributes API-submitted runs.
+<repro.runner.engine.SweepRunner.orchestrate>` (the shard-worker and remote
+dispatch backends), with the run recorded under source ``serve:<job id>``
+so ``repro history`` attributes API-submitted runs.  Jobs may only ask for
+the remote backend when the daemon was started with a host list
+(``--dispatch-hosts``); without one such submissions are rejected with 400.
 """
 
 from __future__ import annotations
@@ -42,10 +44,15 @@ import threading
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.errors import ApiError, ConfigurationError, ReproError
-from repro.runner.backends import BACKEND_FACTORIES, ShardWorkerBackend, make_backend
+from repro.runner.backends import (
+    BACKEND_FACTORIES,
+    RemoteDispatchBackend,
+    ShardWorkerBackend,
+    make_backend,
+)
 from repro.runner.cache import CharacterizationCache, SystemCache
 from repro.runner.db import SweepDatabase
 from repro.runner.engine import SweepRunner
@@ -160,6 +167,11 @@ class SweepJobQueue:
             jobs; defaults to a fresh cache persisted under ``cache_dir``.
         workdir: directory for the shard-worker backend's stores and logs
             (default: ``<store>.workers`` next to the store).
+        dispatch_hosts: host list offered to jobs that ask for the remote
+            backend (default: ``None`` — such jobs are rejected with 400).
+        dispatch_launcher: launcher name for remote jobs (a
+            :data:`~repro.runner.dispatch.LAUNCHERS` key; default ``None``
+            keeps the remote backend's ssh default).
         max_queue: jobs allowed to wait in the queue; a submission beyond
             that fails with 503 + ``Retry-After`` (0 = unbounded).
         on_finished: test/observability hook called with each job after it
@@ -180,6 +192,8 @@ class SweepJobQueue:
         system_cache: SystemCache | None = None,
         characterization_cache: CharacterizationCache | None = None,
         workdir: str | Path | None = None,
+        dispatch_hosts: Sequence[str] | None = None,
+        dispatch_launcher: str | None = None,
         max_queue: int = 0,
         on_finished: Callable[[SweepJob], None] | None = None,
     ) -> None:
@@ -200,6 +214,8 @@ class SweepJobQueue:
             if workdir is not None
             else self.store_path.with_name(self.store_path.name + ".workers")
         )
+        self.dispatch_hosts = list(dispatch_hosts) if dispatch_hosts else None
+        self.dispatch_launcher = dispatch_launcher
         self.max_queue = max_queue
         self._on_finished = on_finished
         # Create (and validate/migrate) the store before the daemon opens
@@ -245,13 +261,19 @@ class SweepJobQueue:
                 <repro.runner.engine.SweepRunner.run_stored>`).
 
         Raises:
-            ApiError: for an unknown backend name (400), a full queue
-                (503 with ``Retry-After``), or a queue that is shutting
-                down (503).
+            ApiError: for an unknown backend name (400), the remote
+                backend without configured dispatch hosts (400), a full
+                queue (503 with ``Retry-After``), or a queue that is
+                shutting down (503).
         """
         if backend not in BACKEND_FACTORIES:
             known = ", ".join(sorted(BACKEND_FACTORIES))
             raise ApiError(f"unknown backend {backend!r}; known backends: {known}")
+        if backend == RemoteDispatchBackend.name and not self.dispatch_hosts:
+            raise ApiError(
+                "the remote backend needs a host list; start the daemon "
+                "with --dispatch-hosts"
+            )
         with self._lock:
             if self._closed:
                 raise ApiError("the job queue is shutting down", status=503)
@@ -361,8 +383,13 @@ class SweepJobQueue:
             job.started_at = _utcnow()
             self._persist(job, store)
         try:
+            remote = job.backend == RemoteDispatchBackend.name
+            hosts = self.dispatch_hosts if remote else None
+            launcher = self.dispatch_launcher if remote else None
             runner = SweepRunner(
-                backend=make_backend(job.backend, jobs=job.pool_jobs),
+                backend=make_backend(
+                    job.backend, jobs=job.pool_jobs, hosts=hosts, launcher=launcher
+                ),
                 cache_dir=self.cache_dir,
                 characterize=self.characterize,
                 packet_count=self.packet_count,

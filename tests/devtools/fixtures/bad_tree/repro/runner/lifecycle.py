@@ -1,0 +1,10 @@
+"""RL007 bait: drives the worker state machine from outside dispatch.py."""
+
+from repro.runner.dispatch import WorkerState
+
+
+def force_finish(attempt):
+    # A terminal state conjured without the supervisor validating the
+    # transition — exactly what RL007 exists to forbid.
+    attempt.state = WorkerState.FINISHED
+    return attempt

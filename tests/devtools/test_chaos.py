@@ -1,0 +1,150 @@
+"""Tests of the deterministic fault-injection harness (``repro.devtools.chaos``)."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.devtools import chaos
+from repro.errors import ConfigurationError
+from repro.runner.dispatch import ATTEMPT_ENV, SHARD_ENV
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def set_chaos(monkeypatch, faults):
+    monkeypatch.setenv(chaos.CHAOS_ENV, json.dumps(faults))
+
+
+class TestParsing:
+    def test_disabled_without_the_env(self, monkeypatch):
+        monkeypatch.delenv(chaos.CHAOS_ENV, raising=False)
+        assert not chaos.chaos_enabled()
+        assert chaos.active_faults() == ()
+
+    def test_enabled_with_the_env(self, monkeypatch):
+        set_chaos(monkeypatch, [{"kind": "hang"}])
+        assert chaos.chaos_enabled()
+
+    def test_invalid_json_rejected(self, monkeypatch):
+        monkeypatch.setenv(chaos.CHAOS_ENV, "{not json")
+        with pytest.raises(ConfigurationError, match="not valid JSON"):
+            chaos.active_faults()
+
+    def test_non_list_payload_rejected(self, monkeypatch):
+        monkeypatch.setenv(chaos.CHAOS_ENV, '{"kind": "crash"}')
+        with pytest.raises(ConfigurationError, match="JSON list"):
+            chaos.active_faults()
+
+    def test_non_object_entry_rejected(self, monkeypatch):
+        monkeypatch.setenv(chaos.CHAOS_ENV, '["crash"]')
+        with pytest.raises(ConfigurationError, match="must be objects"):
+            chaos.active_faults()
+
+    def test_unknown_key_rejected(self, monkeypatch):
+        set_chaos(monkeypatch, [{"kind": "crash", "sharrd": 1}])
+        with pytest.raises(ConfigurationError, match="unknown chaos fault key"):
+            chaos.active_faults()
+
+    def test_unknown_kind_rejected(self, monkeypatch):
+        set_chaos(monkeypatch, [{"kind": "explode"}])
+        with pytest.raises(ConfigurationError, match="unknown chaos fault kind"):
+            chaos.active_faults()
+
+    def test_defaults(self, monkeypatch):
+        set_chaos(monkeypatch, [{"kind": "crash"}])
+        (fault,) = chaos.active_faults()
+        assert fault == chaos.Fault(
+            kind="crash", shard=None, attempt=None, after_points=0, exit_code=70
+        )
+
+
+class TestCoordinateMatching:
+    def test_omitted_coordinates_match_any_worker(self, monkeypatch):
+        set_chaos(monkeypatch, [{"kind": "hang"}])
+        monkeypatch.setenv(SHARD_ENV, "2")
+        monkeypatch.setenv(ATTEMPT_ENV, "3")
+        assert len(chaos.active_faults()) == 1
+
+    def test_shard_and_attempt_filter(self, monkeypatch):
+        set_chaos(
+            monkeypatch,
+            [
+                {"kind": "crash", "shard": 0, "attempt": 1},
+                {"kind": "hang", "shard": 1},
+            ],
+        )
+        monkeypatch.setenv(SHARD_ENV, "0")
+        monkeypatch.setenv(ATTEMPT_ENV, "1")
+        (fault,) = chaos.active_faults()
+        assert fault.kind == "crash"
+
+        monkeypatch.setenv(ATTEMPT_ENV, "2")
+        assert chaos.active_faults() == ()  # crash pinned to attempt 1
+
+        monkeypatch.setenv(SHARD_ENV, "1")
+        (fault,) = chaos.active_faults()
+        assert fault.kind == "hang"  # any attempt on shard 1
+
+    def test_bad_coordinate_rejected(self, monkeypatch):
+        set_chaos(monkeypatch, [{"kind": "hang"}])
+        monkeypatch.setenv(SHARD_ENV, "zero")
+        with pytest.raises(ConfigurationError, match="must be an integer"):
+            chaos.active_faults()
+
+
+class TestHooks:
+    def test_exit_code_passthrough_without_faults(self, monkeypatch):
+        monkeypatch.delenv(chaos.CHAOS_ENV, raising=False)
+        assert chaos.rewrite_exit_code(0) == 0
+        assert chaos.rewrite_exit_code(5) == 5
+
+    def test_corrupt_exit_rewrites_the_exit_code(self, monkeypatch):
+        set_chaos(monkeypatch, [{"kind": "corrupt-exit", "exit_code": 41}])
+        assert chaos.rewrite_exit_code(0) == 41
+
+    def test_other_faults_leave_the_exit_code_alone(self, monkeypatch):
+        set_chaos(monkeypatch, [{"kind": "slow-start"}])
+        assert chaos.rewrite_exit_code(0) == 0
+
+    def test_slow_start_delays_worker_start(self, monkeypatch):
+        import time
+
+        set_chaos(monkeypatch, [{"kind": "slow-start", "delay": 0.05}])
+        before = time.monotonic()
+        chaos.on_worker_start()
+        assert time.monotonic() - before >= 0.05
+
+    def test_crash_waits_for_after_points(self, monkeypatch):
+        """A crash with a point budget must not fire before the budget is
+        spent (checked in-process only below the threshold — at the
+        threshold it would kill the interpreter)."""
+        set_chaos(monkeypatch, [{"kind": "crash", "after_points": 100}])
+        monkeypatch.setattr(chaos, "_points_planned", 0)
+        for _ in range(5):
+            chaos.on_point_planned()
+        assert chaos._points_planned == 5
+
+    def test_crash_hard_kills_the_process(self, monkeypatch):
+        """The crash fault uses os._exit: no cleanup, the configured code."""
+        script = (
+            "from repro.devtools import chaos\n"
+            "chaos.on_point_planned()\n"
+            "print('unreachable')\n"
+        )
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            env={
+                "PYTHONPATH": SRC,
+                chaos.CHAOS_ENV: json.dumps(
+                    [{"kind": "crash", "after_points": 1, "exit_code": 70}]
+                ),
+            },
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+        assert result.returncode == 70
+        assert "unreachable" not in result.stdout

@@ -1,5 +1,5 @@
 """Tests of the ``repro lint`` CLI surface — including the self-lint of the
-real ``src/`` tree and the known-bad fixture tree all six rules fire on."""
+real ``src/`` tree and the known-bad fixture tree every rule fires on."""
 
 import json
 from pathlib import Path

@@ -1,0 +1,195 @@
+"""Chaos-driven integration tests of fault-tolerant orchestration.
+
+The PR's acceptance criterion: with injected faults on up to half the
+workers, ``orchestrate`` completes, retries are recorded, and the merged
+export is byte-identical to a serial run — the merge invariant survives
+every retry path.
+"""
+
+import json
+
+import pytest
+
+from repro.devtools.chaos import CHAOS_ENV
+from repro.experiments.figure1 import figure1_spec
+from repro.runner.backends import ShardWorkerBackend
+from repro.runner.db import SweepDatabase
+from repro.runner.dispatch import WorkerState
+from repro.runner.engine import SweepRunner
+from repro.runner.store import save_sweeps
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return figure1_spec("d695_leon")
+
+
+@pytest.fixture(scope="module")
+def serial_export(spec, tmp_path_factory):
+    """The ground truth every chaos-ridden orchestration must reproduce."""
+    out = tmp_path_factory.mktemp("serial") / "serial.json"
+    return save_sweeps(out, [(spec, SweepRunner(jobs=1).run(spec))]).read_bytes()
+
+
+def orchestrate_with_chaos(spec, tmp_path, monkeypatch, faults, **backend_kwargs):
+    monkeypatch.setenv(CHAOS_ENV, json.dumps(faults))
+    backend = ShardWorkerBackend(
+        workers=3,
+        max_retries=2,
+        retry_backoff=0.05,
+        checkpoint_every=1,
+        **backend_kwargs,
+    )
+    with SweepDatabase(tmp_path / "merged.db") as db:
+        report = SweepRunner(backend=backend).orchestrate(
+            spec, db, workdir=tmp_path / "work"
+        )
+        exported = db.export_document(tmp_path / "merged.json").read_bytes()
+        run_count = db.run_count(report.spec_key)
+    return report, exported, run_count
+
+
+def shard_run_counts(report):
+    counts = []
+    for worker in report.workers:
+        with SweepDatabase(worker.store_path) as shard:
+            counts.append(shard.run_count())
+    return counts
+
+
+class TestCrashRequeue:
+    def test_mid_shard_crash_retries_and_merges_byte_identical(
+        self, spec, tmp_path, monkeypatch, serial_export
+    ):
+        """Kill worker 0 after one committed point; the retry resumes the
+        shard store and the merged export matches serial byte for byte."""
+        report, exported, run_count = orchestrate_with_chaos(
+            spec,
+            tmp_path,
+            monkeypatch,
+            [{"kind": "crash", "shard": 0, "attempt": 1, "after_points": 1}],
+        )
+        assert exported == serial_export
+        crashed = report.workers[0]
+        assert crashed.retries == 1
+        assert [a.state for a in crashed.attempts] == [
+            WorkerState.FAILED,
+            WorkerState.FINISHED,
+        ]
+        assert crashed.attempts[0].returncode == 70
+        assert sum(w.retries for w in report.workers) == 1
+        # carry_history folded every shard run (partial + resumed) in.
+        assert run_count == sum(shard_run_counts(report))
+
+    def test_faults_on_half_the_fleet(
+        self, spec, tmp_path, monkeypatch, serial_export
+    ):
+        """Crashes on two of four workers (the acceptance bound) still
+        converge to the serial export."""
+        monkeypatch.setenv(
+            CHAOS_ENV,
+            json.dumps(
+                [
+                    {"kind": "crash", "shard": 0, "attempt": 1, "after_points": 1},
+                    {"kind": "crash", "shard": 2, "attempt": 1, "exit_code": 9},
+                ]
+            ),
+        )
+        backend = ShardWorkerBackend(
+            workers=4, max_retries=2, retry_backoff=0.05, checkpoint_every=1
+        )
+        with SweepDatabase(tmp_path / "merged.db") as db:
+            report = SweepRunner(backend=backend).orchestrate(
+                spec, db, workdir=tmp_path / "work"
+            )
+            exported = db.export_document(tmp_path / "merged.json").read_bytes()
+        assert exported == serial_export
+        assert sum(w.retries for w in report.workers) == 2
+        assert all(w.state is WorkerState.FINISHED for w in report.workers)
+
+
+class TestHangRequeue:
+    def test_stale_heartbeat_worker_declared_lost_then_requeued(
+        self, spec, tmp_path, monkeypatch, serial_export
+    ):
+        """A worker that stops beating mid-shard is declared Lost, killed,
+        and its shard resumed on a fresh attempt."""
+        report, exported, run_count = orchestrate_with_chaos(
+            spec,
+            tmp_path,
+            monkeypatch,
+            [{"kind": "hang", "shard": 1, "attempt": 1, "after_points": 1}],
+            heartbeat_timeout=1.5,
+        )
+        assert exported == serial_export
+        hung = report.workers[1]
+        assert hung.retries == 1
+        assert hung.attempts[0].state is WorkerState.LOST
+        assert hung.attempts[0].heartbeats >= 1
+        assert run_count == sum(shard_run_counts(report))
+
+
+class TestCorruptExitRequeue:
+    def test_complete_shard_with_bad_exit_code_resumes_to_a_noop(
+        self, spec, tmp_path, monkeypatch, serial_export
+    ):
+        """corrupt-exit completes the shard but exits nonzero: the retry's
+        resume run must execute zero points and the export stays identical
+        (idempotent merge, no duplicated records)."""
+        report, exported, _ = orchestrate_with_chaos(
+            spec,
+            tmp_path,
+            monkeypatch,
+            [{"kind": "corrupt-exit", "shard": 0, "attempt": 1, "exit_code": 41}],
+        )
+        assert exported == serial_export
+        assert report.workers[0].retries == 1
+        assert report.workers[0].attempts[0].returncode == 41
+        # the shard store already held every record, so the resumed attempt
+        # is a pure no-op on the data: its run row executes zero points and
+        # skips all three of the shard's points (checkpoint_every=1 gave the
+        # first attempt one run row per point).
+        with SweepDatabase(report.workers[0].store_path) as shard:
+            runs = shard.runs()
+        assert [run.executed_points for run in runs] == [1, 1, 1, 0]
+        assert runs[-1].skipped_points == 3
+        assert report.record_count == spec.point_count
+
+
+class TestSlowStart:
+    def test_straggler_completes_within_its_attempt(
+        self, spec, tmp_path, monkeypatch, serial_export
+    ):
+        report, exported, _ = orchestrate_with_chaos(
+            spec,
+            tmp_path,
+            monkeypatch,
+            [{"kind": "slow-start", "shard": 2, "delay": 0.5}],
+        )
+        assert exported == serial_export
+        assert sum(w.retries for w in report.workers) == 0
+
+
+class TestExhaustedRetries:
+    def test_unrecoverable_shard_fails_the_orchestration_with_history(
+        self, spec, tmp_path, monkeypatch
+    ):
+        """A fault matching every attempt exhausts the retry budget; the
+        error carries the attempt count and the store is labelled orphaned."""
+        from repro.errors import OrchestrationError
+
+        monkeypatch.setenv(
+            CHAOS_ENV, json.dumps([{"kind": "crash", "shard": 1, "after_points": 1}])
+        )
+        backend = ShardWorkerBackend(
+            workers=3, max_retries=1, retry_backoff=0.05, checkpoint_every=1
+        )
+        with SweepDatabase(tmp_path / "merged.db") as db:
+            with pytest.raises(OrchestrationError, match="exited 70") as excinfo:
+                SweepRunner(backend=backend).orchestrate(
+                    spec, db, workdir=tmp_path / "work"
+                )
+            assert "2 attempt(s)" in str(excinfo.value)
+            assert db.record_count() == 0  # failed orchestration merges nothing
+        (orphan,) = (tmp_path / "work").rglob("*.orphaned.txt")
+        assert "failed permanently" in orphan.read_text(encoding="utf-8")

@@ -8,6 +8,7 @@ from repro.errors import ConfigurationError, OrchestrationError
 from repro.runner.backends import (
     BACKEND_FACTORIES,
     ProcessPoolBackend,
+    RemoteDispatchBackend,
     SerialBackend,
     ShardWorkerBackend,
     make_backend,
@@ -30,16 +31,27 @@ def small_spec():
 
 class TestRegistry:
     def test_all_backends_registered(self):
-        assert set(BACKEND_FACTORIES) == {"serial", "pool", "shard-workers"}
+        assert set(BACKEND_FACTORIES) == {"serial", "pool", "shard-workers", "remote"}
 
     def test_make_backend_by_name(self):
         assert isinstance(make_backend("serial"), SerialBackend)
         assert isinstance(make_backend("pool", jobs=3), ProcessPoolBackend)
         assert isinstance(make_backend("shard-workers", workers=4), ShardWorkerBackend)
+        remote = make_backend("remote", hosts=["h1", "h2"], launcher="local")
+        assert isinstance(remote, RemoteDispatchBackend)
+        assert remote.worker_count == 2
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ConfigurationError, match="unknown backend"):
             make_backend("quantum")
+
+    def test_remote_needs_hosts_and_hosts_need_remote(self):
+        with pytest.raises(ConfigurationError, match="at least one host"):
+            make_backend("remote")
+        with pytest.raises(ConfigurationError, match="at least one host"):
+            RemoteDispatchBackend(["  ", ""])
+        with pytest.raises(ConfigurationError, match="remote backend"):
+            make_backend("serial", hosts=["h1"])
 
     def test_serial_with_multiple_jobs_rejected(self):
         """jobs > 1 next to the serial backend is a contradiction, not a
@@ -251,3 +263,65 @@ class TestShardWorkerOrchestration:
             assert db.records(report.spec_key) == [
                 o.record() for o in SweepRunner(jobs=1).run(small_spec)
             ]
+
+
+class TestCostBasedSharding:
+    def seeded_store(self, spec, path, costs):
+        db = SweepDatabase(path)
+        spec_key = db.ensure_sweep(spec)
+        db.record_run(spec_key, [], executed=0, skipped=0, point_costs=costs)
+        return db
+
+    def test_no_measurements_falls_back_to_equal_sharding(self, small_spec, tmp_path):
+        backend = ShardWorkerBackend(workers=2, cost_sizing=True)
+        with SweepDatabase(tmp_path / "empty.db") as db:
+            db.ensure_sweep(small_spec)
+            assert backend.plan_point_groups(small_spec, db) is None
+
+    def test_fewer_points_than_workers_falls_back(self, small_spec, tmp_path):
+        backend = ShardWorkerBackend(workers=4, cost_sizing=True)
+        with self.seeded_store(small_spec, tmp_path / "s.db", {0: 1.0}) as db:
+            assert backend.plan_point_groups(small_spec, db) is None
+
+    def test_lpt_balances_measured_costs(self, tmp_path):
+        """One dominant point gets a worker to itself; the cheap points pack
+        onto the other — and unmeasured points cost the measured mean."""
+        spec = SweepSpec(
+            name="lpt-grid",
+            systems=("d695_leon",),
+            processor_counts=(0, 2, 4, 6),
+            power_limits=(("no power limit", None),),
+        )
+        costs = {0: 10.0, 1: 1.0, 2: 1.0}  # point 3 unmeasured -> mean 4.0
+        backend = ShardWorkerBackend(workers=2, cost_sizing=True)
+        with self.seeded_store(spec, tmp_path / "s.db", costs) as db:
+            groups = backend.plan_point_groups(spec, db)
+            again = backend.plan_point_groups(spec, db)
+        assert groups == again  # deterministic
+        assert groups == [(0,), (1, 2, 3)]
+        assert sorted(i for group in groups for i in group) == [0, 1, 2, 3]
+
+    def test_point_groups_flow_into_worker_argv(self, small_spec, tmp_path):
+        backend = ShardWorkerBackend(workers=2)
+        plans = backend.plan_workers(
+            small_spec, tmp_path, point_groups=[(1,), (0,)]
+        )
+        for plan, expected in zip(plans, ("1", "0")):
+            position = plan.argv.index("--points")
+            assert plan.argv[position + 1] == expected
+            assert "--shard-index" not in plan.argv
+        assert [plan.point_indices for plan in plans] == [(1,), (0,)]
+
+    def test_cost_sized_orchestration_matches_serial(self, small_spec, tmp_path):
+        """End to end: measure costs with a serial store-backed run, then
+        orchestrate the same grid cost-sized — records identical to serial."""
+        with SweepDatabase(tmp_path / "merged.db") as db:
+            SweepRunner(jobs=1).run_stored(small_spec, db)
+            assert db.point_cost_rows(small_spec.content_key())
+            backend = ShardWorkerBackend(workers=2, cost_sizing=True)
+            report = SweepRunner(backend=backend).orchestrate(
+                small_spec, db, workdir=tmp_path / "work", resume=False
+            )
+            records = db.records(small_spec.content_key())
+        assert report.record_count == small_spec.point_count
+        assert records == [o.record() for o in SweepRunner(jobs=1).run(small_spec)]

@@ -577,3 +577,66 @@ class TestMergeAll:
             assert target.record_count() == 0
             assert target.spec_keys() == []
             assert target.runs() == []
+
+
+class TestPointCosts:
+    """Schema v4 point costs: control metadata feeding cost-based dispatch."""
+
+    def test_costs_roundtrip_and_average_across_runs(self, spec, tmp_path):
+        with SweepDatabase(tmp_path / "costs.db") as db:
+            spec_key = db.ensure_sweep(spec)
+            first = db.record_run(
+                spec_key, [], executed=0, skipped=0, point_costs={0: 1.0, 1: 3.0}
+            )
+            db.record_run(
+                spec_key, [], executed=0, skipped=0, point_costs={0: 2.0}
+            )
+            assert db.point_cost_rows(spec_key) == {0: 1.5, 1: 3.0}
+            assert db.run_point_costs(first) == {0: 1.0, 1: 3.0}
+
+    def test_serial_store_backed_run_records_its_costs(self, spec, tmp_path):
+        """The serial backend measures per-point planning time and the
+        engine persists it — the feedback loop cost-based sharding reads."""
+        with SweepDatabase(tmp_path / "measured.db") as db:
+            report = SweepRunner(jobs=1).run_stored(spec, db)
+            costs = db.point_cost_rows(report.spec_key)
+        assert set(costs) == {p.index for p in spec.points()}
+        assert all(seconds >= 0.0 for seconds in costs.values())
+
+    def test_costs_never_touch_byte_identity(self, spec, serial_records, tmp_path):
+        """Costs are control metadata: two stores holding the same records,
+        one with costs and one without, export byte-identically and agree
+        on data_version."""
+        exports = []
+        versions = []
+        for name, costs in (("plain", None), ("costed", {0: 1.25, 3: 0.5})):
+            with SweepDatabase(tmp_path / f"{name}.db") as db:
+                spec_key = db.ensure_sweep(spec)
+                db.record_run(
+                    spec_key,
+                    serial_records,
+                    executed=len(serial_records),
+                    skipped=0,
+                    point_costs=costs,
+                )
+                exports.append(
+                    db.export_document(tmp_path / f"{name}.json").read_bytes()
+                )
+                versions.append(db.data_version())
+        assert exports[0] == exports[1]
+        assert versions[0] == versions[1]
+
+    def test_history_carrying_merge_carries_costs(self, spec, tmp_path):
+        with SweepDatabase(tmp_path / "shard.db") as shard:
+            report = SweepRunner(jobs=1).run_stored(spec, shard)
+            shard_costs = shard.point_cost_rows(report.spec_key)
+            with SweepDatabase(tmp_path / "target.db") as target:
+                target.merge(shard, carry_history=True)
+                assert target.point_cost_rows(report.spec_key) == shard_costs
+
+    def test_plain_merge_does_not_carry_costs(self, spec, tmp_path):
+        with SweepDatabase(tmp_path / "shard.db") as shard:
+            report = SweepRunner(jobs=1).run_stored(spec, shard)
+            with SweepDatabase(tmp_path / "target.db") as target:
+                target.merge(shard)
+                assert target.point_cost_rows(report.spec_key) == {}

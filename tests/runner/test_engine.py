@@ -263,3 +263,75 @@ class TestShardReportsOnSharedStore:
             assert tuple(r["index"] for r in second.records) == expected
             # ...while the store itself accumulates both shards.
             assert db.record_count(d695_spec.content_key()) == len(expected) * 2
+
+
+class TestCheckpointedRuns:
+    """checkpoint_every: chunked commits that make killed runs resumable."""
+
+    def test_non_positive_checkpoint_rejected(self):
+        with pytest.raises(ConfigurationError, match="checkpoint_every"):
+            SweepRunner(checkpoint_every=0)
+
+    def test_chunked_run_rows_and_identical_records(self, d695_spec, tmp_path):
+        from repro.runner.db import SweepDatabase
+
+        with SweepDatabase(tmp_path / "chunked.db") as db:
+            SweepRunner(checkpoint_every=2).run_stored(d695_spec, db)
+            runs = db.runs()
+            records = db.records(d695_spec.content_key())
+        # 6 points in chunks of 2 -> 3 run rows, executed counters intact.
+        assert [run.executed_points for run in runs] == [2, 2, 2]
+        assert sum(run.skipped_points for run in runs) == 0
+        serial = [o.record() for o in SweepRunner(jobs=1).run(d695_spec)]
+        assert records == serial
+
+    def test_partial_checkpointed_run_resumes_to_the_serial_records(
+        self, d695_spec, tmp_path
+    ):
+        """The requeue foundation: execute only part of the grid (as a
+        killed checkpointing worker would leave it), then resume — the
+        store must converge to the serial records."""
+        from repro.runner.db import SweepDatabase
+
+        runner = SweepRunner(checkpoint_every=1)
+        with SweepDatabase(tmp_path / "partial.db") as db:
+            runner.run_points(d695_spec, db, [0, 1], resume=False)
+            report = runner.run_stored(d695_spec, db, resume=True)
+            assert len(report.executed_indices) == d695_spec.point_count - 2
+            assert report.skipped_indices == (0, 1)
+            records = db.records(d695_spec.content_key())
+        serial = [o.record() for o in SweepRunner(jobs=1).run(d695_spec)]
+        assert records == serial
+
+
+class TestPointSubsetRuns:
+    def test_run_points_labels_its_source(self, d695_spec, tmp_path):
+        from repro.runner.db import SweepDatabase
+
+        with SweepDatabase(tmp_path / "points.db") as db:
+            report = SweepRunner().run_points(d695_spec, db, [4, 2])
+            (run,) = db.runs()
+            assert run.source == "points:2"
+            assert [r["reused_processors"] for r in db.records(report.spec_key)] == [
+                d695_spec.points()[2].reused_processors,
+                d695_spec.points()[4].reused_processors,
+            ]
+
+    def test_resumed_subset_skips_executed_points(self, d695_spec, tmp_path):
+        from repro.runner.db import SweepDatabase
+
+        runner = SweepRunner()
+        with SweepDatabase(tmp_path / "points.db") as db:
+            runner.run_points(d695_spec, db, [0, 1])
+            report = runner.run_points(d695_spec, db, [0, 1, 2], resume=True)
+            assert report.executed_indices == (2,)
+            assert report.skipped_indices == (0, 1)
+
+    def test_shard_worker_backend_cannot_run_points_inline(self, d695_spec, tmp_path):
+        from repro.runner.backends import ShardWorkerBackend
+        from repro.runner.db import SweepDatabase
+
+        runner = SweepRunner(backend=ShardWorkerBackend(workers=2))
+        with SweepDatabase(tmp_path / "s.db") as db:
+            with pytest.raises(ConfigurationError, match="in-process"):
+                runner.run_points(d695_spec, db, [0])

@@ -1,8 +1,10 @@
-"""Tests of the in-place v2 -> v3 store migration (the ``jobs`` table).
+"""Tests of the in-place store migrations: v2 (pre-``jobs``) and v3
+(pre-``point_costs``) stores upgrade to the current schema on first
+writer open.
 
-A v2 store is manufactured by downgrading a current one — dropping the
-``jobs`` table and rewinding the version marker — which is exactly the
-shape PR 5/6 daemons left on disk.
+Old-version stores are manufactured by downgrading a current one —
+dropping the newer tables and rewinding the version marker — which is
+exactly the shape earlier PRs' daemons left on disk.
 """
 
 import sqlite3
@@ -38,6 +40,20 @@ def downgrade_to_v2(path):
             connection.execute("DELETE FROM meta WHERE key = 'migrated_from'")
             connection.execute(
                 "UPDATE meta SET value = '2' WHERE key = 'schema_version'"
+            )
+    finally:
+        connection.close()
+
+
+def downgrade_to_v3(path):
+    """Rewind a store to the pre-point_costs schema (what PRs 6-9 wrote)."""
+    connection = sqlite3.connect(path)
+    try:
+        with connection:
+            connection.execute("DROP TABLE point_costs")
+            connection.execute("DELETE FROM meta WHERE key = 'migrated_from'")
+            connection.execute(
+                "UPDATE meta SET value = '3' WHERE key = 'schema_version'"
             )
     finally:
         connection.close()
@@ -99,4 +115,31 @@ class TestMigration:
         with pytest.raises(ResultStoreError, match="99"):
             SweepDatabase(path)
         with pytest.raises(ResultStoreError, match="99"):
+            SweepDatabase.open_reader(path)
+
+
+class TestV3Migration:
+    def test_writer_migrates_v3_in_place(self, tmp_path):
+        path = tmp_path / "v3.db"
+        spec_key, records = seeded_store(path)
+        downgrade_to_v3(path)
+        with SweepDatabase(path) as db:
+            # The upgrade happened on open: point_costs table present and
+            # empty, the store's data untouched.
+            assert db.point_cost_rows(spec_key) == {}
+            assert db.records(spec_key) == records
+            assert db.data_version() == (len(records), 1)
+            # The migrated store accepts cost writes immediately.
+            db.record_run(
+                spec_key, [], executed=0, skipped=0, point_costs={0: 0.25}
+            )
+            assert db.point_cost_rows(spec_key) == {0: 0.25}
+        assert meta_value(path, "schema_version") == str(DB_SCHEMA_VERSION)
+        assert meta_value(path, "migrated_from") == "3"
+
+    def test_reader_refuses_v3_with_migrate_hint(self, tmp_path):
+        path = tmp_path / "v3.db"
+        seeded_store(path)
+        downgrade_to_v3(path)
+        with pytest.raises(ResultStoreError, match="migrate it in place"):
             SweepDatabase.open_reader(path)

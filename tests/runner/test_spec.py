@@ -201,3 +201,38 @@ class TestShard:
     def test_unknown_strategy_rejected(self):
         with pytest.raises(ConfigurationError, match="shard strategy"):
             self.grid().shard(0, 2, strategy="random")
+
+
+class TestPointSelection:
+    def grid(self):
+        """An 8-point grid (4 reuse levels x 2 power series)."""
+        return small_spec(processor_counts=(0, 2, 4, 6))
+
+    def test_subset_keeps_global_indices_ascending(self):
+        spec = self.grid()
+        points = spec.points_at([5, 0, 3])
+        assert [p.index for p in points] == [0, 3, 5]
+        assert points == tuple(spec.points()[i] for i in (0, 3, 5))
+
+    def test_indices_deduplicated(self):
+        assert [p.index for p in self.grid().points_at([2, 2, 2])] == [2]
+
+    def test_any_partition_unions_to_the_grid(self):
+        """The cost-based dispatch contract: arbitrary index groups cover
+        the grid exactly like the built-in shard strategies."""
+        spec = self.grid()
+        groups = ([7, 1], [0, 4, 6], [2, 3, 5])
+        merged = sorted(
+            (p for group in groups for p in spec.points_at(group)),
+            key=lambda p: p.index,
+        )
+        assert tuple(merged) == spec.points()
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one index"):
+            self.grid().points_at([])
+
+    @pytest.mark.parametrize("index", [-1, 8, 99])
+    def test_out_of_range_index_rejected(self, index):
+        with pytest.raises(ConfigurationError, match="out of range"):
+            self.grid().points_at([0, index])

@@ -156,3 +156,31 @@ class TestSnapshots:
         assert snapshot["status"] in JOB_STATES
         assert snapshot["spec_name"] == "serve-jobs"
         assert snapshot["point_count"] == 2
+
+
+class TestRemoteDispatch:
+    def test_remote_backend_needs_configured_hosts(self, queue_factory):
+        """A remote job on a daemon started without --dispatch-hosts is a
+        client error, not a doomed background job."""
+        queue = queue_factory()
+        with pytest.raises(ApiError) as excinfo:
+            queue.submit(small_spec(), backend="remote")
+        assert excinfo.value.status == 400
+        assert "--dispatch-hosts" in str(excinfo.value)
+
+    def test_remote_job_runs_on_the_configured_hosts(
+        self, queue_factory, waiter, tmp_path
+    ):
+        """With hosts configured (local launcher stand-ins), a remote job
+        orchestrates and stores the same records as an inline run."""
+        queue = queue_factory(
+            dispatch_hosts=["local/0", "local/1"],
+            dispatch_launcher="local",
+            workdir=tmp_path / "work",
+        )
+        spec = small_spec("remote-job")
+        queue.submit(spec, backend="remote")
+        finished = waiter.wait()
+        assert finished.status == "finished", finished.error
+        with SweepDatabase(tmp_path / "jobs.db") as db:
+            assert db.record_count(spec.content_key()) == spec.point_count

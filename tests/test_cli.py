@@ -811,3 +811,259 @@ class TestMergeConflictCleanup:
         assert merged.exists()
         with SweepDatabase(merged) as db:
             assert db.record_count() == 1
+
+
+class TestPointSelectionFlags:
+    def run_args(self, tmp_path, *extra):
+        return [
+            "sweep",
+            "d695_leon",
+            "--counts",
+            "0,2",
+            "--power-limits",
+            "none",
+            "--no-characterize",
+            "--store",
+            str(tmp_path / "s.db"),
+            *extra,
+        ]
+
+    def test_points_runs_the_named_subset(self, capsys, tmp_path):
+        assert main(self.run_args(tmp_path, "--points", "1")) == 0
+        out = capsys.readouterr().out
+        assert "1 executed, 0 skipped" in out
+        assert "[points 1]" in out
+
+    def test_points_partition_resumes_to_the_full_grid(self, capsys, tmp_path):
+        """Two disjoint --points runs cover the grid; a resumed full run
+        then skips everything."""
+        assert main(self.run_args(tmp_path, "--points", "1")) == 0
+        assert main(self.run_args(tmp_path, "--points", "0", "--resume")) == 0
+        assert main(self.run_args(tmp_path, "--resume")) == 0
+        assert "0 executed, 2 skipped" in capsys.readouterr().out
+
+    def test_points_requires_store(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "d695_leon",
+                    "--no-characterize",
+                    "--points",
+                    "0",
+                ]
+            )
+            == 1
+        )
+        assert "--store" in capsys.readouterr().err
+
+    def test_points_conflicts_with_shard_flags(self, capsys, tmp_path):
+        assert (
+            main(
+                self.run_args(
+                    tmp_path,
+                    "--points",
+                    "0",
+                    "--shard-index",
+                    "0",
+                    "--shard-count",
+                    "2",
+                )
+            )
+            == 1
+        )
+        assert "--points" in capsys.readouterr().err
+
+    def test_points_rejects_bad_tokens(self, capsys, tmp_path):
+        assert main(self.run_args(tmp_path, "--points", "0,x")) == 1
+        assert "grid indices" in capsys.readouterr().err
+
+    def test_points_rejects_orchestrated_backends(self, capsys, tmp_path):
+        assert (
+            main(
+                self.run_args(
+                    tmp_path, "--points", "0", "--backend", "shard-workers"
+                )
+            )
+            == 1
+        )
+        assert "--points" in capsys.readouterr().err
+
+    def test_checkpoint_requires_store(self, capsys):
+        assert (
+            main(["sweep", "d695_leon", "--no-characterize", "--checkpoint", "2"])
+            == 1
+        )
+        assert "--store" in capsys.readouterr().err
+
+
+class TestRemoteDispatchFlags:
+    def test_hosts_require_the_remote_backend(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "d695_leon",
+                    "--no-characterize",
+                    "--store",
+                    str(tmp_path / "s.db"),
+                    "--hosts",
+                    "h1,h2",
+                ]
+            )
+            == 1
+        )
+        assert "remote" in capsys.readouterr().err
+
+    def test_remote_backend_requires_hosts(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "d695_leon",
+                    "--no-characterize",
+                    "--store",
+                    str(tmp_path / "s.db"),
+                    "--backend",
+                    "remote",
+                ]
+            )
+            == 1
+        )
+        assert "host" in capsys.readouterr().err
+
+    def test_orchestrate_rejects_both_host_sources(self, capsys, tmp_path):
+        hosts_file = tmp_path / "hosts.txt"
+        hosts_file.write_text("h1\n", encoding="utf-8")
+        assert (
+            main(
+                [
+                    "orchestrate",
+                    "d695_leon",
+                    "--store",
+                    str(tmp_path / "s.db"),
+                    "--hosts",
+                    "h1",
+                    "--hosts-file",
+                    str(hosts_file),
+                ]
+            )
+            == 1
+        )
+        assert "--hosts" in capsys.readouterr().err
+
+    def test_orchestrate_rejects_unreadable_hosts_file(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "orchestrate",
+                    "d695_leon",
+                    "--store",
+                    str(tmp_path / "s.db"),
+                    "--hosts-file",
+                    str(tmp_path / "missing.txt"),
+                ]
+            )
+            == 1
+        )
+        assert "cannot read hosts file" in capsys.readouterr().err
+
+    def test_orchestrate_rejects_empty_hosts_file(self, capsys, tmp_path):
+        hosts_file = tmp_path / "hosts.txt"
+        hosts_file.write_text("# a comment\n\n", encoding="utf-8")
+        assert (
+            main(
+                [
+                    "orchestrate",
+                    "d695_leon",
+                    "--store",
+                    str(tmp_path / "s.db"),
+                    "--hosts-file",
+                    str(hosts_file),
+                ]
+            )
+            == 1
+        )
+        assert "names no hosts" in capsys.readouterr().err
+
+    def test_launcher_requires_hosts(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "orchestrate",
+                    "d695_leon",
+                    "--store",
+                    str(tmp_path / "s.db"),
+                    "--launcher",
+                    "local",
+                ]
+            )
+            == 1
+        )
+        assert "host" in capsys.readouterr().err
+
+    def test_hosts_file_drives_remote_orchestration(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        """End to end over a host pool (local launcher stand-ins) with an
+        injected crash: the orchestration retries, prints the attempt
+        history, and the export matches a serial run byte for byte."""
+        import json
+
+        serial = tmp_path / "serial.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "d695_leon",
+                    "--counts",
+                    "0,2",
+                    "--power-limits",
+                    "none",
+                    "--no-characterize",
+                    "--out",
+                    str(serial),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        hosts_file = tmp_path / "hosts.txt"
+        hosts_file.write_text("# local stand-ins\nnode-a\nnode-b\n", encoding="utf-8")
+        monkeypatch.setenv(
+            "REPRO_CHAOS",
+            json.dumps([{"kind": "crash", "shard": 0, "attempt": 1}]),
+        )
+        exported = tmp_path / "merged.json"
+        assert (
+            main(
+                [
+                    "orchestrate",
+                    "d695_leon",
+                    "--counts",
+                    "0,2",
+                    "--power-limits",
+                    "none",
+                    "--no-characterize",
+                    "--hosts-file",
+                    str(hosts_file),
+                    "--launcher",
+                    "local",
+                    "--retry-backoff",
+                    "0.05",
+                    "--store",
+                    str(tmp_path / "merged.db"),
+                    "--workdir",
+                    str(tmp_path / "work"),
+                    "--export-json",
+                    str(exported),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "orchestrated on 2 shard worker(s)" in out
+        assert "[1 retry]" in out
+        assert "attempt 2:" in out
+        assert "Finished" in out
+        assert exported.read_bytes() == serial.read_bytes()
